@@ -1,0 +1,26 @@
+"""Benchmark fixtures.
+
+Set ``REPRO_QUICK=1`` to run every figure at reduced problem sizes
+(useful for smoke-testing the harness); the default regenerates the
+figures at the full default sizes recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_QUICK", "") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure-regeneration callable exactly once under
+    pytest-benchmark (each 'iteration' is a full simulation campaign,
+    so statistical repetition is wasted work)."""
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

@@ -1,0 +1,31 @@
+"""Figure 1: TreadMarks (Base) speedups for 1-16 processors.
+
+Regenerates the paper's speedup curves.  Shape assertions: TSP shows the
+best 16-processor speedup and Ocean the worst ("from the unacceptable
+performance of Ocean to the reasonably good speedups of TSP").
+"""
+
+from repro.harness.experiments import APP_ORDER, fig1_speedups
+from repro.harness.figures import PAPER_REFERENCE, render_speedups
+
+
+def test_fig01_speedups(once, quick):
+    data = once(fig1_speedups, quick=quick)
+    print()
+    print(render_speedups(data))
+    print("\nPaper figure 1 speedups at 16 processors (approx.):",
+          PAPER_REFERENCE["fig1_speedup16"])
+
+    if quick:
+        return  # quick sizes are for harness smoke tests only
+
+    at16 = {app: data[app][16] for app in APP_ORDER}
+    assert max(at16, key=at16.get) == "TSP"
+    assert min(at16, key=at16.get) == "Ocean"
+    # Speedups grow with processor count for the scalable applications.
+    for app in ("TSP", "Water", "Barnes", "Em3d"):
+        assert data[app][16] > data[app][4]
+    # Every application except Ocean gets some parallel benefit at 16.
+    for app in APP_ORDER:
+        if app != "Ocean":
+            assert at16[app] > 1.5, (app, at16[app])

@@ -1,0 +1,33 @@
+"""Figure 2: Base execution-time breakdown on 16 processors.
+
+Regenerates the normalized busy/data/synch/ipc/others split and the
+per-application diff-operation percentages the paper prints above each
+bar (1.5 / 7.6 / 20.6 / 10.4 / 26.7 / 20.9 for TSP / Water / Radix /
+Barnes / Em3d / Ocean).
+"""
+
+from repro.harness.experiments import fig2_breakdown
+from repro.harness.figures import PAPER_REFERENCE, render_breakdown
+
+
+def test_fig02_breakdown(once, quick):
+    data = once(fig2_breakdown, quick=quick)
+    print()
+    print(render_breakdown(data))
+    print("\nPaper figure 2 diff-time percentages:",
+          PAPER_REFERENCE["fig2_diff_pct"])
+
+    if quick:
+        return  # quick sizes are for harness smoke tests only
+
+    # TreadMarks suffers severe data-fetch and synchronization overheads
+    # (section 2): the overhead-dominated apps spend well under half
+    # their time busy.
+    assert data["Ocean"]["busy"] < 0.5
+    # TSP is compute-bound: busy dominates and diff time is negligible.
+    assert data["TSP"]["busy"] > 0.6
+    assert data["TSP"]["diff_pct"] == min(row["diff_pct"]
+                                          for row in data.values())
+    # The diff-heavy applications spend >10% of time on diff operations.
+    for app in ("Radix", "Ocean"):
+        assert data[app]["diff_pct"] > 10.0, (app, data[app]["diff_pct"])

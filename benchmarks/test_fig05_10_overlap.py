@@ -1,0 +1,41 @@
+"""Figures 5-10: the six overlap modes for each application.
+
+Regenerates the per-application normalized running times for Base, I,
+I+D, P, I+P, and I+P+D.  Shape assertions encode the paper's findings:
+
+* hardware diffs provide the largest, most consistent gains (I+D beats
+  Base everywhere);
+* I alone helps but less;
+* prefetching alone is not always profitable and can hurt badly;
+* combining everything (I+P+D) performs at least as well as P alone.
+"""
+
+import pytest
+
+from repro.harness.experiments import APP_ORDER, fig_overlap_modes
+from repro.harness.figures import PAPER_REFERENCE, render_overlap
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_fig05_10_overlap(once, quick, app):
+    data = once(fig_overlap_modes, app, quick=quick)
+    print()
+    print(render_overlap(app, data))
+    print("\nPaper normalized times:",
+          PAPER_REFERENCE["overlap_normalized_pct"][app])
+
+    if quick:
+        return  # quick sizes are for harness smoke tests only
+
+    base = data["Base"]["cycles"]
+    # I+D always improves on Base (paper: 4-39% improvements).
+    assert data["I+D"]["cycles"] <= base * 1.01
+    # I never makes things dramatically worse.
+    assert data["I"]["cycles"] <= base * 1.10
+    # Prefetch modes actually issued prefetches.
+    for mode in ("P", "I+P", "I+P+D"):
+        assert data[mode]["prefetches"] > 0
+    # Combining controller support with prefetching is at least as good
+    # as prefetching alone (paper: "performs as well or better than
+    # prefetching in isolation in all cases").
+    assert data["I+P+D"]["cycles"] <= data["P"]["cycles"] * 1.05

@@ -1,0 +1,41 @@
+"""Protocol shoot-out: overlapping TreadMarks vs AURC (figures 11-12).
+
+Runs each application under TM/I+D, AURC, and AURC with prefetching,
+printing running times normalized to the overlapping TreadMarks, plus
+AURC's automatic-update traffic -- the quantity whose network appetite
+drives the paper's figure 14 bandwidth sensitivity.
+
+Usage::
+
+    python examples/aurc_shootout.py [app ...]   # default: Water Em3d
+"""
+
+import sys
+
+from repro.harness.experiments import (
+    APP_ORDER,
+    fig11_12_protocol_comparison,
+)
+from repro.harness.figures import PAPER_REFERENCE, \
+    render_protocol_comparison
+
+
+def main():
+    apps = sys.argv[1:] or ["Water", "Em3d"]
+    for app in apps:
+        if app not in APP_ORDER:
+            raise SystemExit(
+                f"unknown app {app!r}; choose from {APP_ORDER}")
+    print(f"Comparing protocols on: {', '.join(apps)} (16 processors)")
+    data = fig11_12_protocol_comparison(apps=apps)
+    print()
+    print(render_protocol_comparison(data))
+    print()
+    print("Paper's (AURC, AURC+P) normalized times, TM/I+D = 100:")
+    for app in apps:
+        aurc, aurc_p = PAPER_REFERENCE["protocol_normalized_pct"][app]
+        print(f"  {app}: AURC={aurc} AURC+P={aurc_p}")
+
+
+if __name__ == "__main__":
+    main()

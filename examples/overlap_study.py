@@ -1,0 +1,34 @@
+"""Overlap-mode study: reproduce one of figures 5-10 for a chosen app.
+
+Runs an application in all six TreadMarks configurations (Base, I, I+D,
+P, I+P, I+P+D) and prints the normalized running times with their
+category breakdowns -- the content of the paper's figures 5 through 10.
+
+Usage::
+
+    python examples/overlap_study.py [app]     # default: Ocean
+"""
+
+import sys
+
+from repro.harness.experiments import APP_ORDER, fig_overlap_modes
+from repro.harness.figures import PAPER_REFERENCE, render_overlap
+
+
+def main():
+    app = sys.argv[1] if len(sys.argv) > 1 else "Ocean"
+    if app not in APP_ORDER:
+        raise SystemExit(f"unknown app {app!r}; choose from {APP_ORDER}")
+    print(f"Running {app} in all six overlap modes (16 processors)...")
+    data = fig_overlap_modes(app)
+    print()
+    print(render_overlap(app, data))
+    print()
+    paper = PAPER_REFERENCE["overlap_normalized_pct"][app]
+    print("Paper's normalized times for comparison (Base = 100):")
+    print("  " + "  ".join(f"{mode}={value}"
+                           for mode, value in paper.items()))
+
+
+if __name__ == "__main__":
+    main()

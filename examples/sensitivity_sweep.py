@@ -1,0 +1,52 @@
+"""Architectural sensitivity sweeps (the paper's figures 13-16).
+
+Sweeps one machine parameter at a time -- messaging overhead, network
+bandwidth, memory latency, memory bandwidth -- and prints normalized
+execution times for the overlapping TreadMarks (I+D) and AURC on Em3d,
+the paper's representative application.
+
+Usage::
+
+    python examples/sensitivity_sweep.py [net|msg|memlat|membw|all]
+"""
+
+import sys
+
+from repro.harness.experiments import (
+    fig13_messaging_overhead,
+    fig14_network_bandwidth,
+    fig15_memory_latency,
+    fig16_memory_bandwidth,
+)
+from repro.harness.figures import render_sweep
+
+_SWEEPS = {
+    "msg": ("Figure 13 -- messaging overhead (us)", "us",
+            lambda: fig13_messaging_overhead(quick=True)),
+    "net": ("Figure 14 -- network bandwidth (MB/s)", "MB/s",
+            lambda: fig14_network_bandwidth(quick=True)),
+    "memlat": ("Figure 15 -- memory latency (ns)", "ns",
+               lambda: fig15_memory_latency(quick=True)),
+    "membw": ("Figure 16 -- memory bandwidth (MB/s)", "MB/s",
+              lambda: fig16_memory_bandwidth(quick=True)),
+}
+
+
+def main():
+    choice = sys.argv[1] if len(sys.argv) > 1 else "all"
+    keys = list(_SWEEPS) if choice == "all" else [choice]
+    for key in keys:
+        if key not in _SWEEPS:
+            raise SystemExit(f"unknown sweep {key!r}; "
+                             f"choose from {list(_SWEEPS)} or 'all'")
+        title, x_label, run = _SWEEPS[key]
+        print(f"running {key} sweep (quick Em3d, 16 nodes)...")
+        print(render_sweep(title, x_label, run()))
+        print()
+    print("Times are normalized to each protocol's run at the default "
+          "parameters;")
+    print("use the benchmarks/ suite for full-size sweeps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a Python reproduction of Bianchini et al., ASPLOS 1996 --
+"Hiding Communication Latency and Coherence Overhead in Software DSMs".
+
+Public API entry points:
+
+* :func:`repro.harness.runner.run_app` /
+  :class:`repro.harness.runner.ProtocolConfig` -- simulate one
+  application under TreadMarks (any overlap mode) or AURC.
+* :mod:`repro.apps` -- the six workloads (TSP, Water, Radix, Barnes,
+  Em3d, Ocean).
+* :mod:`repro.harness.experiments` -- regenerate the paper's figures.
+* :class:`repro.hardware.params.MachineParams` -- Table 1 and the
+  section 5.3 sensitivity knobs.
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.hardware.params import MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = ["MachineParams", "__version__"]

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run APP``
+    Simulate one application under one protocol and print its report.
+
+``figure N``
+    Regenerate one of the paper's figures (1, 2, 5-10, 11, 13, 14, 15,
+    16) and print the table.
+
+``list``
+    List applications, overlap modes, and protocols.
+
+Examples::
+
+    python -m repro run Em3d --protocol I+D --procs 16
+    python -m repro run Water --protocol aurc --prefetch
+    python -m repro figure 1 --quick
+    python -m repro figure 5 --app Ocean
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dsm.overlap import ALL_MODES
+from repro.harness import experiments, figures
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.stats.report import format_run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Hiding Communication Latency and "
+                    "Coherence Overhead in Software DSMs' (ASPLOS 1996)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one application")
+    run_p.add_argument("app", choices=experiments.APP_ORDER)
+    run_p.add_argument("--protocol", default="Base",
+                       help="an overlap mode (Base, I, I+D, P, I+P, "
+                            "I+P+D) or 'aurc'")
+    run_p.add_argument("--prefetch", action="store_true",
+                       help="AURC only: enable page prefetching")
+    run_p.add_argument("--procs", type=int, default=16)
+    run_p.add_argument("--quick", action="store_true",
+                       help="reduced problem size")
+    run_p.add_argument("--no-verify", action="store_true",
+                       help="skip the result-verification epilogue")
+    run_p.add_argument("--verbose", action="store_true")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", type=int,
+                       choices=[1, 2, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15,
+                                16])
+    fig_p.add_argument("--app", default=None,
+                       help="application for figures 5-10 "
+                            "(default: the figure's own app)")
+    fig_p.add_argument("--quick", action="store_true")
+
+    sub.add_parser("list", help="list applications and protocols")
+    return parser
+
+
+_OVERLAP_FIGURES = {5: "TSP", 6: "Water", 7: "Radix", 8: "Barnes",
+                    9: "Em3d", 10: "Ocean"}
+
+
+def _cmd_run(args) -> int:
+    if args.protocol.lower() == "aurc":
+        config = ProtocolConfig.aurc(prefetch=args.prefetch)
+    else:
+        config = ProtocolConfig.treadmarks(args.protocol)
+    app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
+    result = run_app(app, config, verify=not args.no_verify)
+    print(format_run(result, verbose=args.verbose))
+    if result.verified:
+        print("result verified against the reference solution")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    quick = args.quick
+    n = args.number
+    if n == 1:
+        print(figures.render_speedups(
+            experiments.fig1_speedups(quick=quick)))
+    elif n == 2:
+        print(figures.render_breakdown(
+            experiments.fig2_breakdown(quick=quick)))
+    elif n in _OVERLAP_FIGURES:
+        app = args.app or _OVERLAP_FIGURES[n]
+        print(figures.render_overlap(
+            app, experiments.fig_overlap_modes(app, quick=quick)))
+    elif n == 11:
+        print(figures.render_protocol_comparison(
+            experiments.fig11_12_protocol_comparison(quick=quick)))
+    elif n == 13:
+        print(figures.render_sweep(
+            "Figure 13 -- messaging overhead (us)", "us",
+            experiments.fig13_messaging_overhead(quick=quick)))
+    elif n == 14:
+        print(figures.render_sweep(
+            "Figure 14 -- network bandwidth (MB/s)", "MB/s",
+            experiments.fig14_network_bandwidth(quick=quick)))
+    elif n == 15:
+        print(figures.render_sweep(
+            "Figure 15 -- memory latency (ns)", "ns",
+            experiments.fig15_memory_latency(quick=quick)))
+    elif n == 16:
+        print(figures.render_sweep(
+            "Figure 16 -- memory bandwidth (MB/s)", "MB/s",
+            experiments.fig16_memory_bandwidth(quick=quick)))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("applications:", ", ".join(experiments.APP_ORDER))
+    print("overlap modes:", ", ".join(m.name for m in ALL_MODES))
+    print("protocols: TreadMarks (per overlap mode), aurc, aurc "
+          "--prefetch")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

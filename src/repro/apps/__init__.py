@@ -1,0 +1,13 @@
+"""The application workload (paper section 4.2).
+
+Six parallel programs implemented as real algorithms over the simulated
+shared memory: TSP (branch-and-bound), Water (O(n^2) molecular
+dynamics), Radix (parallel radix sort), Barnes (Barnes-Hut N-body),
+Ocean (red-black grid relaxation), and Em3d (bipartite-graph
+electromagnetic propagation).  Problem sizes are scaled down from the
+paper's (see DESIGN.md section 6) and are constructor parameters.
+"""
+
+from repro.apps.base import Application
+
+__all__ = ["Application"]

@@ -1,0 +1,274 @@
+"""Barnes: Barnes-Hut hierarchical N-body simulation (SPLASH-2 Barnes).
+
+Per timestep: an octree is built over the bodies, each body's
+acceleration is computed by a theta-criterion traversal, and owners
+integrate their body block.  The tree lives in shared arrays (children,
+centers of mass, cell masses) written by processor 0 during the build
+phase and read by every processor during the force phase -- the
+many-readers-of-fresh-pages pattern that gives Barnes its data-fetch
+and synchronization overheads.
+
+The paper itself modified Barnes ("the only application that required
+modification", removing busy-wait synchronization); we go one step
+further and serialize the tree build on processor 0 (DESIGN.md section
+2): the parallel lock-per-cell build changes load balance of one phase
+but not the page-level sharing the evaluation is about.
+
+Verification is exact: the reference solution runs the same build and
+traversal functions serially, so simulated positions must match to the
+last bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps import costs
+from repro.apps.base import Application, check_close
+from repro.dsm.shmem import DsmApi, SharedSegment
+
+__all__ = ["Barnes", "build_octree", "compute_accel"]
+
+_THETA = 0.6
+_SOFT2 = 0.05
+_DT = 0.01
+
+
+def build_octree(pos: np.ndarray, mass: np.ndarray):
+    """Insert all bodies into an octree; returns flat shared-ready arrays.
+
+    ``children[node, octant]`` is ``2 + child_node`` for an internal
+    child, ``-(body + 1)`` for a body leaf, or 0 when empty (the +2
+    offset keeps node 0 unambiguous).  Cell centers/half-sizes are
+    internal to the build; centers of mass and cell masses are computed
+    bottom-up and returned.
+    """
+    n = len(mass)
+    max_nodes = max(16, 8 * n)
+    children = np.zeros((max_nodes, 8), dtype=np.int64)
+    center = np.zeros((max_nodes, 3))
+    half = np.zeros(max_nodes)
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    mid = (lo + hi) / 2
+    size = float((hi - lo).max()) / 2 + 1e-9
+    center[0] = mid
+    half[0] = size
+    n_nodes = 1
+
+    def octant_of(node: int, p: np.ndarray) -> int:
+        c = center[node]
+        return ((p[0] > c[0]) * 1 + (p[1] > c[1]) * 2 + (p[2] > c[2]) * 4)
+
+    def child_center(node: int, octant: int) -> np.ndarray:
+        offset = half[node] / 2
+        c = center[node].copy()
+        c[0] += offset if octant & 1 else -offset
+        c[1] += offset if octant & 2 else -offset
+        c[2] += offset if octant & 4 else -offset
+        return c
+
+    def insert(node: int, body: int) -> None:
+        nonlocal n_nodes
+        while True:
+            octant = octant_of(node, pos[body])
+            slot = children[node, octant]
+            if slot == 0:
+                children[node, octant] = -(body + 1)
+                return
+            if slot < 0:
+                other = -int(slot) - 1
+                if n_nodes >= len(half):
+                    raise RuntimeError("octree node pool exhausted")
+                fresh = n_nodes
+                n_nodes += 1
+                center[fresh] = child_center(node, octant)
+                half[fresh] = half[node] / 2
+                children[node, octant] = fresh + 2
+                sub = octant_of(fresh, pos[other])
+                children[fresh, sub] = -(other + 1)
+                node = fresh
+                continue
+            node = int(slot) - 2
+
+    for body in range(n):
+        insert(0, body)
+
+    com = np.zeros((max_nodes, 3))
+    cmass = np.zeros(max_nodes)
+
+    def summarize(node: int) -> None:
+        total = 0.0
+        weighted = np.zeros(3)
+        for octant in range(8):
+            slot = children[node, octant]
+            if slot == 0:
+                continue
+            if slot < 0:
+                body = -int(slot) - 1
+                total += mass[body]
+                weighted += mass[body] * pos[body]
+            else:
+                child = int(slot) - 2
+                summarize(child)
+                total += cmass[child]
+                weighted += cmass[child] * com[child]
+        cmass[node] = total
+        com[node] = weighted / total if total else center[node]
+
+    summarize(0)
+    return (children[:n_nodes], com[:n_nodes], cmass[:n_nodes],
+            half[:n_nodes], n_nodes)
+
+
+def compute_accel(body: int, pos: np.ndarray, mass: np.ndarray,
+                  children: np.ndarray, com: np.ndarray,
+                  cmass: np.ndarray, half: np.ndarray,
+                  theta: float = _THETA) -> Tuple[np.ndarray, int]:
+    """Theta-criterion traversal; returns (acceleration, force terms)."""
+    acc = np.zeros(3)
+    terms = 0
+    stack: List[int] = [0]
+    p = pos[body]
+    while stack:
+        node = stack.pop()
+        delta = com[node] - p
+        dist2 = float((delta ** 2).sum()) + _SOFT2
+        dist = np.sqrt(dist2)
+        if (2 * half[node]) / dist < theta:
+            acc += cmass[node] * delta / (dist2 * dist)
+            terms += 1
+            continue
+        for octant in range(8):
+            slot = children[node, octant]
+            if slot == 0:
+                continue
+            if slot < 0:
+                other = -int(slot) - 1
+                if other == body:
+                    continue
+                d = pos[other] - p
+                d2 = float((d ** 2).sum()) + _SOFT2
+                dd = np.sqrt(d2)
+                acc += mass[other] * d / (d2 * dd)
+                terms += 1
+            else:
+                stack.append(int(slot) - 2)
+    return acc, terms
+
+
+class Barnes(Application):
+    """Barnes-Hut over a shared tree and shared body arrays."""
+
+    name = "Barnes"
+
+    def __init__(self, nprocs: int, n_bodies: int = 512, steps: int = 2,
+                 seed: int = 31337):
+        super().__init__(nprocs)
+        self.n = n_bodies
+        self.steps = steps
+        rng = np.random.default_rng(seed)
+        self.initial_pos = rng.normal(0.0, 1.0, size=(self.n, 3))
+        self.mass = rng.uniform(0.5, 1.5, size=self.n)
+        self.max_nodes = max(16, 8 * self.n)
+        self.pos_base = 0
+        self.mass_base = 0
+        self.acc_base = 0
+        self.child_base = 0
+        self.com_base = 0
+        self.cmass_base = 0
+        self.half_base = 0
+        self.meta_base = 0
+
+    def allocate(self, segment: SharedSegment) -> None:
+        self.pos_base = segment.alloc("barnes.pos", self.n * 3)
+        self.mass_base = segment.alloc("barnes.mass", self.n)
+        self.acc_base = segment.alloc("barnes.acc", self.n * 3)
+        self.child_base = segment.alloc("barnes.child", self.max_nodes * 8)
+        self.com_base = segment.alloc("barnes.com", self.max_nodes * 3)
+        self.cmass_base = segment.alloc("barnes.cmass", self.max_nodes)
+        self.half_base = segment.alloc("barnes.half", self.max_nodes)
+        self.meta_base = segment.alloc("barnes.meta", 2)
+
+    def reference_solution(self) -> np.ndarray:
+        pos = self.initial_pos.copy()
+        vel = np.zeros_like(pos)
+        for _ in range(self.steps):
+            children, com, cmass, half, _n = build_octree(pos, self.mass)
+            acc = np.zeros_like(pos)
+            for body in range(self.n):
+                acc[body], _terms = compute_accel(
+                    body, pos, self.mass, children, com, cmass, half)
+            vel += acc * _DT
+            pos = pos + vel * _DT
+        return pos
+
+    def worker(self, api: DsmApi, pid: int):
+        n = self.n
+        lo, hi = self.block_range(pid, n)
+        vel = np.zeros((max(hi - lo, 0), 3))
+        if pid == 0:
+            yield from api.write(self.pos_base, self.initial_pos.ravel())
+            yield from api.write(self.mass_base, self.mass)
+        yield from api.barrier(0)
+        bid = 1
+        for _step in range(self.steps):
+            # -- tree build (processor 0) --------------------------------
+            if pid == 0:
+                flat = yield from api.read(self.pos_base, n * 3)
+                pos = flat.reshape(n, 3)
+                children, com, cmass, half, n_nodes = build_octree(
+                    pos, self.mass)
+                yield from api.compute(
+                    n_nodes * costs.BARNES_CYCLES_PER_TREE_NODE)
+                yield from api.write(self.child_base,
+                                     children.astype(np.float64).ravel())
+                yield from api.write(self.com_base, com.ravel())
+                yield from api.write(self.cmass_base, cmass)
+                yield from api.write(self.half_base, half)
+                yield from api.write(self.meta_base, [float(n_nodes)])
+            yield from api.barrier(bid)
+            bid += 1
+            # -- force phase: everyone reads the tree --------------------
+            n_nodes = int((yield from api.read1(self.meta_base)))
+            child_flat = yield from api.read(self.child_base, n_nodes * 8)
+            com_flat = yield from api.read(self.com_base, n_nodes * 3)
+            cmass = yield from api.read(self.cmass_base, n_nodes)
+            half = yield from api.read(self.half_base, n_nodes)
+            pos_flat = yield from api.read(self.pos_base, n * 3)
+            pos = pos_flat.reshape(n, 3)
+            masses = yield from api.read(self.mass_base, n)
+            children = child_flat.astype(np.int64).reshape(n_nodes, 8)
+            com = com_flat.reshape(n_nodes, 3)
+            my_acc = np.zeros((max(hi - lo, 0), 3))
+            total_terms = 0
+            for body in range(lo, hi):
+                my_acc[body - lo], terms = compute_accel(
+                    body, pos, masses, children, com, cmass, half)
+                total_terms += terms
+            yield from api.compute(
+                total_terms * costs.BARNES_CYCLES_PER_FORCE_TERM)
+            if hi > lo:
+                yield from api.write(self.acc_base + lo * 3,
+                                     my_acc.ravel())
+            yield from api.barrier(bid)
+            bid += 1
+            # -- integration by owners -----------------------------------
+            if hi > lo:
+                acc_flat = yield from api.read(self.acc_base + lo * 3,
+                                               (hi - lo) * 3)
+                vel += acc_flat.reshape(-1, 3) * _DT
+                new_pos = pos[lo:hi] + vel * _DT
+                yield from api.write(self.pos_base + lo * 3,
+                                     new_pos.ravel())
+            yield from api.barrier(bid)
+            bid += 1
+        return bid
+
+    def epilogue(self, api: DsmApi):
+        flat = yield from api.read(self.pos_base, self.n * 3)
+        expected = self.reference_solution()
+        check_close(flat.reshape(self.n, 3), expected, "barnes positions",
+                    rtol=1e-9)

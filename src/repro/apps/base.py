@@ -1,0 +1,73 @@
+"""Application base class: the contract between workloads and the harness.
+
+An application:
+
+1. **allocates** its shared arrays from the :class:`SharedSegment`
+   (before any worker runs);
+2. provides one **worker** generator per process, written against
+   :class:`~repro.dsm.shmem.DsmApi` -- every shared access, sync
+   operation, and block of private compute is a ``yield from``;
+3. provides an **epilogue** generator (run on processor 0 *after* the
+   timed region) that reads results back through the DSM and checks them
+   against :meth:`expected`, computed independently in plain Python.
+   The epilogue doubles as an end-to-end protocol-correctness check:
+   if coherence is wrong anywhere, the numbers will not match.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsm.shmem import DsmApi, SharedSegment
+
+__all__ = ["Application", "check_close"]
+
+
+class Application:
+    """Base class for the six workloads."""
+
+    name = "app"
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+
+    def allocate(self, segment: SharedSegment) -> None:
+        raise NotImplementedError
+
+    def worker(self, api: DsmApi, pid: int):
+        raise NotImplementedError
+
+    def epilogue(self, api: DsmApi):
+        """Generator run on pid 0 after the timed region; must raise on
+        any mismatch with the locally computed expected result."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+
+    def block_range(self, pid: int, total: int) -> tuple:
+        """Contiguous block partition [lo, hi) of ``total`` items."""
+        base = total // self.nprocs
+        extra = total % self.nprocs
+        lo = pid * base + min(pid, extra)
+        hi = lo + base + (1 if pid < extra else 0)
+        return lo, hi
+
+
+def check_close(actual, expected, label: str, rtol: float = 1e-9) -> None:
+    """Raise with a readable message when arrays diverge."""
+    actual = np.asarray(actual, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if actual.shape != expected.shape:
+        raise AssertionError(
+            f"{label}: shape {actual.shape} != expected {expected.shape}")
+    if not np.allclose(actual, expected, rtol=rtol, atol=1e-9):
+        bad = np.flatnonzero(~np.isclose(actual, expected, rtol=rtol,
+                                         atol=1e-9))
+        first = bad[0] if len(bad) else -1
+        raise AssertionError(
+            f"{label}: {len(bad)} mismatches; first at {first}: "
+            f"{actual.flat[first]} != {expected.flat[first]}")

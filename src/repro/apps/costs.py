@@ -1,0 +1,52 @@
+"""Computation cost models for the application workloads.
+
+The simulator is execution-driven at shared-access granularity: private
+computation between shared accesses is charged as busy cycles through
+``api.compute``.  The constants here are cycles *per unit of algorithmic
+work* (per pairwise interaction, per key, per grid point, ...), chosen
+so that the per-processor busy/communication ratio lands in the same
+regime as the paper's figure 1 speedups (TSP highest, Em3d/Water middle,
+Radix/Barnes lower, Ocean lowest).  They are calibration constants, not
+measurements -- see DESIGN.md section 2 on what the substitution
+preserves.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TSP_CYCLES_PER_TOUR_NODE",
+    "TSP_CYCLES_PER_EXPANSION",
+    "WATER_CYCLES_PER_INTERACTION",
+    "WATER_CYCLES_PER_MOLECULE_UPDATE",
+    "RADIX_CYCLES_PER_KEY_HISTOGRAM",
+    "RADIX_CYCLES_PER_KEY_PERMUTE",
+    "BARNES_CYCLES_PER_FORCE_TERM",
+    "BARNES_CYCLES_PER_TREE_NODE",
+    "OCEAN_CYCLES_PER_POINT",
+    "EM3D_CYCLES_PER_DEPENDENCY",
+]
+
+# TSP: evaluating one city extension inside the exhaustive tail solve,
+# and expanding one partial tour onto the queue.
+TSP_CYCLES_PER_TOUR_NODE = 120
+TSP_CYCLES_PER_EXPANSION = 400
+
+# Water: one O(n^2) pairwise force evaluation (sqrt, several flops) and
+# one molecule position/velocity integration.
+WATER_CYCLES_PER_INTERACTION = 1000
+WATER_CYCLES_PER_MOLECULE_UPDATE = 150
+
+# Radix: per-key costs of the histogram and permutation phases.
+RADIX_CYCLES_PER_KEY_HISTOGRAM = 20
+RADIX_CYCLES_PER_KEY_PERMUTE = 30
+
+# Barnes-Hut: one accepted cell/body force term during traversal, and
+# one node visited during the (serial) tree build.
+BARNES_CYCLES_PER_FORCE_TERM = 100
+BARNES_CYCLES_PER_TREE_NODE = 60
+
+# Ocean: one 5-point stencil update.
+OCEAN_CYCLES_PER_POINT = 35
+
+# Em3d: one dependency edge evaluated (multiply-accumulate + index).
+EM3D_CYCLES_PER_DEPENDENCY = 120

@@ -1,0 +1,134 @@
+"""Radix: the SPLASH-2 integer radix-sort kernel.
+
+Iterative LSD radix sort: one pass per digit.  Per pass each processor
+histograms its block of keys, the histograms are combined into global
+rank offsets, and every processor permutes its keys into the output
+array at its ranked positions.  The permutation phase scatters writes
+across the whole output array -- the access pattern that makes Radix
+diff-heavy (20.6% diff time in the paper) and hostile to prefetching
+(its pages are touched by many writers every pass).
+
+The global prefix-sum is computed by processor 0 (the tree-structured
+parallel scan of SPLASH-2 is a latency optimization that changes none of
+the page-level sharing; DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import costs
+from repro.apps.base import Application, check_close
+from repro.dsm.shmem import DsmApi, SharedSegment
+
+__all__ = ["Radix"]
+
+
+class Radix(Application):
+    """Parallel LSD radix sort of uniformly random integer keys."""
+
+    name = "Radix"
+
+    def __init__(self, nprocs: int, n_keys: int = 524288,
+                 radix_bits: int = 5, key_bits: int = 20,
+                 seed: int = 777):
+        super().__init__(nprocs)
+        if key_bits % radix_bits:
+            raise ValueError("key_bits must be a multiple of radix_bits")
+        self.n_keys = n_keys
+        self.radix_bits = radix_bits
+        self.radix = 1 << radix_bits
+        self.key_bits = key_bits
+        self.passes = key_bits // radix_bits
+        rng = np.random.default_rng(seed)
+        self.initial_keys = rng.integers(0, 1 << key_bits,
+                                         size=n_keys).astype(np.int64)
+        self.keys_a = 0
+        self.keys_b = 0
+        self.hist_base = 0
+        self.rank_base = 0
+
+    def allocate(self, segment: SharedSegment) -> None:
+        self.keys_a = segment.alloc("radix.keys_a", self.n_keys)
+        self.keys_b = segment.alloc("radix.keys_b", self.n_keys)
+        self.hist_base = segment.alloc("radix.hist",
+                                       self.nprocs * self.radix)
+        self.rank_base = segment.alloc("radix.rank",
+                                       self.nprocs * self.radix)
+
+    def worker(self, api: DsmApi, pid: int):
+        n = self.n_keys
+        if pid == 0:
+            yield from api.write(self.keys_a,
+                                 self.initial_keys.astype(np.float64))
+        yield from api.barrier(0)
+        lo, hi = self.block_range(pid, n)
+        src, dst = self.keys_a, self.keys_b
+        bid = 1
+        for p in range(self.passes):
+            shift = p * self.radix_bits
+            # -- histogram my block ------------------------------------
+            block = yield from api.read(src + lo, hi - lo)
+            keys = block.astype(np.int64)
+            digits = (keys >> shift) & (self.radix - 1)
+            hist = np.bincount(digits, minlength=self.radix)
+            yield from api.compute(
+                (hi - lo) * costs.RADIX_CYCLES_PER_KEY_HISTOGRAM)
+            yield from api.write(self.hist_base + pid * self.radix,
+                                 hist.astype(np.float64))
+            yield from api.barrier(bid)
+            bid += 1
+            # -- global ranks (processor 0) -----------------------------
+            if pid == 0:
+                all_hist = yield from api.read(self.hist_base,
+                                               self.nprocs * self.radix)
+                counts = all_hist.astype(np.int64).reshape(
+                    self.nprocs, self.radix)
+                # rank[p][b] = keys in buckets < b, plus keys of bucket b
+                # belonging to processors < p.
+                bucket_starts = np.concatenate(
+                    ([0], np.cumsum(counts.sum(axis=0))[:-1]))
+                within = np.cumsum(counts, axis=0) - counts
+                ranks = bucket_starts[None, :] + within
+                yield from api.compute(
+                    self.nprocs * self.radix * 4)
+                yield from api.write(self.rank_base,
+                                     ranks.astype(np.float64).ravel())
+            yield from api.barrier(bid)
+            bid += 1
+            # -- permute my keys to their ranked positions ---------------
+            my_ranks = yield from api.read(self.rank_base + pid * self.radix,
+                                           self.radix)
+            offsets = my_ranks.astype(np.int64).copy()
+            yield from api.compute(
+                (hi - lo) * costs.RADIX_CYCLES_PER_KEY_PERMUTE)
+            # Stable within my block: keys of each bucket stay in order,
+            # so each bucket's keys form one contiguous write.
+            order = np.argsort(digits, kind="stable")
+            sorted_digits = digits[order]
+            sorted_keys = keys[order]
+            start = 0
+            while start < len(sorted_keys):
+                digit = sorted_digits[start]
+                end = start
+                while (end < len(sorted_digits)
+                       and sorted_digits[end] == digit):
+                    end += 1
+                position = int(offsets[digit])
+                yield from api.write(
+                    dst + position,
+                    sorted_keys[start:end].astype(np.float64))
+                start = end
+            yield from api.barrier(bid)
+            bid += 1
+            src, dst = dst, src
+        return src  # where the sorted keys ended up
+
+    def sorted_base(self) -> int:
+        """Address of the final sorted array (depends on pass parity)."""
+        return self.keys_a if self.passes % 2 == 0 else self.keys_b
+
+    def epilogue(self, api: DsmApi):
+        final = yield from api.read(self.sorted_base(), self.n_keys)
+        expected = np.sort(self.initial_keys)
+        check_close(final.astype(np.int64), expected, "radix sorted keys")

@@ -1,0 +1,143 @@
+"""Water: O(n^2) molecular dynamics (SPLASH-2 Water-Nsquared).
+
+Each timestep computes pairwise central forces between all molecule
+pairs and integrates positions.  Pair (i, j) work is partitioned by
+``i % nprocs`` for load balance; each processor accumulates force
+contributions privately and then folds them into the shared force array
+under **per-stripe locks** -- the lock-based reduction that gives Water
+its TreadMarks lock traffic (and made prefetching's inflation of short
+critical sections so costly in the paper).
+
+Physics is a simple smoothed inverse-square attraction (enough to make
+the reduction and integration numerically non-trivial); velocities are
+processor-private state of each molecule's owner, exactly as Water
+keeps them out of the shared segment.
+
+Because lock-ordered floating-point accumulation is timing-dependent,
+verification uses a relative tolerance (1e-6 over the default two
+steps) rather than exact equality; the *set* of summed contributions is
+identical, only the addition order varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import costs
+from repro.apps.base import Application, check_close
+from repro.dsm.shmem import DsmApi, SharedSegment
+
+__all__ = ["Water"]
+
+_SOFTENING = 0.05
+_DT = 0.002
+
+
+def _pair_forces(pos: np.ndarray, i: int) -> np.ndarray:
+    """Force contributions of pairs (i, j>i) on all molecules (n x 3)."""
+    n = pos.shape[0]
+    out = np.zeros_like(pos)
+    if i >= n - 1:
+        return out
+    delta = pos[i + 1:] - pos[i]                    # j > i
+    dist2 = (delta ** 2).sum(axis=1) + _SOFTENING
+    mag = 1.0 / (dist2 * np.sqrt(dist2))
+    f = delta * mag[:, None]
+    out[i] = f.sum(axis=0)
+    out[i + 1:] = -f
+    return out
+
+
+class Water(Application):
+    """Pairwise molecular dynamics with lock-striped force reduction."""
+
+    name = "Water"
+
+    def __init__(self, nprocs: int, n_molecules: int = 160, steps: int = 2,
+                 seed: int = 424242):
+        super().__init__(nprocs)
+        self.n = n_molecules
+        self.steps = steps
+        rng = np.random.default_rng(seed)
+        self.initial_pos = rng.uniform(0.0, 4.0, size=(self.n, 3))
+        self.pos_base = 0
+        self.force_base = 0
+
+    # Lock ids: stripe s uses lock s; barriers use ids >= 100.
+    def _stripe_range(self, stripe: int):
+        return self.block_range(stripe, self.n)
+
+    def allocate(self, segment: SharedSegment) -> None:
+        self.pos_base = segment.alloc("water.pos", self.n * 3)
+        self.force_base = segment.alloc("water.force", self.n * 3)
+
+    def _my_rows(self, pid: int):
+        return range(pid, self.n, self.nprocs)
+
+    def reference_solution(self) -> np.ndarray:
+        pos = self.initial_pos.copy()
+        vel = np.zeros_like(pos)
+        for _ in range(self.steps):
+            force = np.zeros_like(pos)
+            for i in range(self.n):
+                force += _pair_forces(pos, i)
+            vel += force * _DT
+            pos += vel * _DT
+        return pos
+
+    def worker(self, api: DsmApi, pid: int):
+        n = self.n
+        lo, hi = self.block_range(pid, n)   # molecules this proc owns
+        vel = np.zeros((max(hi - lo, 0), 3))
+        if pid == 0:
+            yield from api.write(self.pos_base, self.initial_pos.ravel())
+            yield from api.write(self.force_base, np.zeros(n * 3))
+        yield from api.barrier(100)
+        bid = 101
+        for _step in range(self.steps):
+            # -- force computation (reads all positions) -----------------
+            flat = yield from api.read(self.pos_base, n * 3)
+            pos = flat.reshape(n, 3)
+            local = np.zeros_like(pos)
+            interactions = 0
+            for i in self._my_rows(pid):
+                local += _pair_forces(pos, i)
+                interactions += n - i - 1
+            yield from api.compute(
+                interactions * costs.WATER_CYCLES_PER_INTERACTION)
+            # -- lock-striped reduction into the shared force array ------
+            for k in range(self.nprocs):
+                stripe = (pid + k) % self.nprocs
+                s_lo, s_hi = self._stripe_range(stripe)
+                if s_lo == s_hi:
+                    continue
+                yield from api.acquire(stripe)
+                chunk = yield from api.read(self.force_base + s_lo * 3,
+                                            (s_hi - s_lo) * 3)
+                chunk = chunk + local[s_lo:s_hi].ravel()
+                yield from api.write(self.force_base + s_lo * 3, chunk)
+                yield from api.release(stripe)
+            yield from api.barrier(bid)
+            bid += 1
+            # -- integration by owners, then force reset -----------------
+            if hi > lo:
+                forces = yield from api.read(self.force_base + lo * 3,
+                                             (hi - lo) * 3)
+                forces = forces.reshape(-1, 3)
+                vel += forces * _DT
+                new_pos = pos[lo:hi] + vel * _DT
+                yield from api.compute(
+                    (hi - lo) * costs.WATER_CYCLES_PER_MOLECULE_UPDATE)
+                yield from api.write(self.pos_base + lo * 3,
+                                     new_pos.ravel())
+                yield from api.write(self.force_base + lo * 3,
+                                     np.zeros((hi - lo) * 3))
+            yield from api.barrier(bid)
+            bid += 1
+        return bid
+
+    def epilogue(self, api: DsmApi):
+        flat = yield from api.read(self.pos_base, self.n * 3)
+        expected = self.reference_solution()
+        check_close(flat.reshape(self.n, 3), expected, "water positions",
+                    rtol=1e-6)

@@ -1,0 +1,46 @@
+"""Software distributed shared memory protocols.
+
+The package implements the two protocol families the paper evaluates:
+
+* :mod:`repro.dsm.treadmarks` -- TreadMarks-style lazy release
+  consistency with vector-timestamped intervals, write notices, twins,
+  and word-granularity diffs, in all six overlap modes (Base, I, I+D,
+  P, I+P, I+P+D) enabled by the protocol controller.
+* :mod:`repro.dsm.aurc` -- AURC: home-based automatic-update release
+  consistency with optimized pair-wise sharing, with and without
+  prefetching.
+
+Supporting modules: vector timestamps and intervals
+(:mod:`repro.dsm.timestamps`), diff records (:mod:`repro.dsm.diffs`),
+per-node page state (:mod:`repro.dsm.page`), message types and the
+protocol base class (:mod:`repro.dsm.protocol`), distributed locks and
+barriers (:mod:`repro.dsm.locks`, :mod:`repro.dsm.barriers`), overlap
+mode definitions (:mod:`repro.dsm.overlap`), prefetch bookkeeping
+(:mod:`repro.dsm.prefetch`), and the application-facing shared-memory
+API (:mod:`repro.dsm.shmem`).
+"""
+
+from repro.dsm.overlap import (
+    ALL_MODES,
+    BASE,
+    I,
+    ID,
+    IP,
+    IPD,
+    P,
+    OverlapMode,
+)
+from repro.dsm.shmem import DsmApi, SharedSegment
+
+__all__ = [
+    "ALL_MODES",
+    "BASE",
+    "DsmApi",
+    "I",
+    "ID",
+    "IP",
+    "IPD",
+    "OverlapMode",
+    "P",
+    "SharedSegment",
+]

@@ -1,0 +1,788 @@
+"""AURC: automatic-update release consistency (paper section 3.3).
+
+AURC exploits a SHRIMP-style NIC (:mod:`repro.hardware.nic`): write
+accesses to mapped pages are snooped off the bus and propagated to a
+remote copy of the page while both processors keep computing.  There are
+no twins and no diffs; modifications merge at a **home** copy (or flow
+directly between a **pair** of sharers), and coherence reduces to
+invalidating at acquires and waiting for in-flight updates using
+**flush/lock timestamps** -- per-destination sequence numbers stamped at
+releases.
+
+Sharing-mode state machine per page (directory at the home, simulated
+centrally; transitions are rare, one-time events):
+
+* ``SOLO``   -- one sharer; no update traffic.
+* ``PAIRWISE`` -- exactly two sharers with a bidirectional mapping;
+  writes auto-update the partner; no faults, no fetches.  A third
+  sharer *replaces the first* in the pair (the replaced node drops its
+  copy).
+* ``HOME`` -- four or more sharers (or a replaced node returning):
+  everyone writes through to the home; readers fetch page copies from
+  the home, which first drains in-flight updates past the requester's
+  stamps.
+
+Like TreadMarks, interval records propagate through lock grants and
+barriers; AURC's records additionally carry per-page flush stamps
+``(dst, seq)`` so a fetch can name exactly the updates the home must
+have seen.  AURC has no protocol controller: every remote service
+(page fetch, lock/barrier handling) interrupts the serving node's
+computation processor, and prefetch requests have no priority support
+-- the two structural reasons prefetching hurts AURC in the paper.
+
+Documented simplifications (DESIGN.md section 2): directory metadata and
+pair-formation notifications are instantaneous (data-plane only); the
+home's frame is brought current instantaneously at a revert-to-home
+transition.  All timing-bearing traffic (updates, fetches, sync
+messages) is simulated mechanistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsm.barriers import BarrierService
+from repro.dsm.locks import LockService
+from repro.dsm.prefetch import PrefetchStats
+from repro.dsm.protocol import (
+    AurcPageReply,
+    AurcPageRequest,
+    BarrierArrive,
+    BarrierRelease,
+    DsmProtocol,
+    LockForward,
+    LockGrant,
+    LockRequest,
+    Message,
+)
+from repro.dsm.shmem import SharedSegment
+from repro.dsm.timestamps import IntervalLog, VectorClock
+from repro.hardware.node import Cluster, Node
+from repro.hardware.params import MachineParams
+from repro.sim import Event, Simulator
+from repro.stats.breakdown import Category
+
+__all__ = ["Aurc", "AurcStats", "AurcIntervalRecord"]
+
+SOLO = "solo"
+PAIRWISE = "pairwise"
+HOME = "home"
+
+
+@dataclass(frozen=True)
+class AurcIntervalRecord:
+    """An interval record carrying AURC flush stamps.
+
+    ``stamps`` maps page -> (dst, seq): the destination of that page's
+    automatic updates during the interval and the last update sequence
+    number, i.e. the flush timestamp a reader must wait for.
+    """
+
+    writer: int
+    interval_id: int
+    pages: Tuple[int, ...]
+    vc: Tuple[int, ...] = ()
+    stamps: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def notice_count(self) -> int:
+        return len(self.pages)
+
+
+@dataclass
+class AurcStats:
+    """Cluster-wide AURC event counters."""
+
+    faults: int = 0
+    fetches: int = 0
+    local_waits: int = 0          # pairwise/home waits for in-flight updates
+    pairwise_formations: int = 0
+    pair_replacements: int = 0
+    reverts_to_home: int = 0
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+
+
+class AurcPage:
+    """One node's view of one page under AURC."""
+
+    __slots__ = ("page", "words", "frame", "notified", "applied",
+                 "pending_stamps", "partner", "referenced",
+                 "prefetch_event", "prefetch_issued_at", "prefetch_ready")
+
+    def __init__(self, page: int, words: int):
+        self.page = page
+        self.words = words
+        self.frame: Optional[np.ndarray] = None
+        self.notified: Dict[int, int] = {}
+        self.applied: Dict[int, int] = {}
+        # writer -> (interval_id, dst, seq) of the newest pending notice.
+        self.pending_stamps: Dict[int, Tuple[int, int, int]] = {}
+        self.partner: Optional[int] = None
+        self.referenced = False
+        self.prefetch_event = None
+        self.prefetch_issued_at: Optional[float] = None
+        self.prefetch_ready = False
+
+    @property
+    def has_frame(self) -> bool:
+        return self.frame is not None
+
+    def ensure_frame(self) -> np.ndarray:
+        if self.frame is None:
+            self.frame = np.zeros(self.words, dtype=np.float64)
+        return self.frame
+
+    def pending_writers(self) -> List[int]:
+        return [w for w, notice in self.notified.items()
+                if notice > self.applied.get(w, 0)]
+
+    def is_valid(self) -> bool:
+        return self.has_frame and not self.pending_writers()
+
+    def record_notice(self, writer: int, interval_id: int, dst: int,
+                      seq: int) -> bool:
+        was_valid = self.is_valid()
+        if interval_id > self.notified.get(writer, 0):
+            self.notified[writer] = interval_id
+            self.pending_stamps[writer] = (interval_id, dst, seq)
+        return was_valid and not self.is_valid()
+
+    def mark_applied(self, writer: int, through_id: int) -> None:
+        if through_id > self.applied.get(writer, 0):
+            self.applied[writer] = through_id
+
+    def applied_snapshot(self) -> Dict[int, int]:
+        return dict(self.applied)
+
+
+@dataclass
+class _PageDirectory:
+    """Global sharing metadata for one page (conceptually at the home)."""
+
+    mode: str = SOLO
+    sharers: List[int] = field(default_factory=list)
+    replaced_once: bool = False  # the pair may be reshuffled only once
+
+
+class NodeAurcState:
+    """One node's AURC protocol state."""
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.vc = VectorClock(n)
+        self.last_barrier_vc = VectorClock(n)
+        self.log = IntervalLog(n)
+        self.pages: Dict[int, AurcPage] = {}
+        # page -> (dst, seq): last update stamp of the open interval.
+        self.current_writes: Dict[int, Tuple[int, int]] = {}
+
+    def page(self, page: int, words: int) -> AurcPage:
+        state = self.pages.get(page)
+        if state is None:
+            state = AurcPage(page, words)
+            self.pages[page] = state
+        return state
+
+
+class Aurc(DsmProtocol):
+    """The AURC protocol engine (optionally with page prefetching)."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 params: MachineParams, segment: SharedSegment,
+                 prefetch: bool = False, pairwise_enabled: bool = True):
+        """``pairwise_enabled=False`` is an ablation knob: every shared
+        page goes straight to write-through-to-home, quantifying what
+        the optimized pair-wise sharing buys AURC."""
+        super().__init__(sim, cluster, params)
+        self.segment = segment
+        self.prefetch = prefetch
+        self.pairwise_enabled = pairwise_enabled
+        self.stats = AurcStats()
+        self.states = [NodeAurcState(i, self.n) for i in range(self.n)]
+        self.directory: Dict[int, _PageDirectory] = {}
+        self.locks = LockService(self)
+        self.barriers = BarrierService(self)
+
+    @property
+    def name(self) -> str:
+        return "AURC+P" if self.prefetch else "AURC"
+
+    # ------------------------------------------------------------------
+    # directory (instantaneous metadata; see module docstring)
+    # ------------------------------------------------------------------
+
+    def _dir(self, page: int) -> _PageDirectory:
+        entry = self.directory.get(page)
+        if entry is None:
+            entry = _PageDirectory()
+            self.directory[page] = entry
+        return entry
+
+    def page_home(self, page: int) -> int:
+        return self.page_manager(page)
+
+    def _join_sharing(self, pid: int, page: int) -> int:
+        """Register ``pid`` as a sharer; returns the fetch authority.
+
+        Drives the SOLO -> PAIRWISE -> (replace) -> HOME transitions.
+        """
+        entry = self._dir(page)
+        if pid in entry.sharers:
+            return self._authority(pid, page)
+        previous = list(entry.sharers)
+        entry.sharers.append(pid)
+        count = len(entry.sharers)
+        if count == 1:
+            entry.mode = SOLO
+            return pid  # first toucher: local zero page
+        if count >= 2 and not self.pairwise_enabled:
+            authority = (previous[0] if entry.mode == SOLO
+                         else self.page_home(page))
+            if entry.mode != HOME:
+                self._revert_to_home(entry, page)
+            return authority
+        if count == 2:
+            entry.mode = PAIRWISE
+            self.stats.pairwise_formations += 1
+            a, b = entry.sharers
+            self._pair(a, b, page)
+            return previous[0]
+        if (count == 3 and entry.mode == PAIRWISE
+                and not entry.replaced_once):
+            # The third sharer replaces the first in the pair (once).
+            self.stats.pair_replacements += 1
+            entry.replaced_once = True
+            replaced = entry.sharers.pop(0)
+            self._unpair(replaced, page)
+            a, b = entry.sharers
+            self._pair(a, b, page)
+            return a if a != pid else b
+        # Fourth (or returning) sharer: revert to write-through-to-home.
+        if entry.mode != HOME:
+            self._revert_to_home(entry, page)
+        return self.page_home(page)
+
+    def _pair(self, a: int, b: int, page: int) -> None:
+        """Create the bidirectional mapping; sync the newcomer's data.
+
+        Once paired, each member's frame is kept current by the instant
+        data plane, so the newcomer's frame must start as a copy of the
+        established member's (the timing of the initial transfer is the
+        newcomer's fetch, simulated by the caller).
+        """
+        words = self.params.words_per_page
+        pa = self.states[a].page(page, words)
+        pb = self.states[b].page(page, words)
+        pa.partner, pb.partner = b, a
+        if pa.has_frame and not pb.has_frame:
+            pb.ensure_frame()[:] = pa.frame
+            for writer, through in pa.applied.items():
+                pb.mark_applied(writer, through)
+        elif pb.has_frame and not pa.has_frame:
+            pa.ensure_frame()[:] = pb.frame
+            for writer, through in pb.applied.items():
+                pa.mark_applied(writer, through)
+        pa.ensure_frame()
+        pb.ensure_frame()
+
+    def _unpair(self, pid: int, page: int) -> None:
+        ap = self.states[pid].page(page, self.params.words_per_page)
+        ap.partner = None
+        ap.frame = None  # replaced node drops its copy
+
+    def _revert_to_home(self, entry: _PageDirectory, page: int) -> None:
+        self.stats.reverts_to_home += 1
+        entry.mode = HOME
+        home = self.page_home(page)
+        words = self.params.words_per_page
+        # Bring the home frame current from a pair member (instant data
+        # plane; the transition is a one-time event per page).
+        home_page = self.states[home].page(page, words)
+        source = None
+        fallback = None
+        for sharer in entry.sharers:
+            ap = self.states[sharer].page(page, words)
+            if ap.partner is not None and ap.has_frame:
+                source = ap
+            elif ap.has_frame:
+                fallback = ap
+            ap.partner = None
+        if source is None:
+            source = fallback
+        if source is not None and source is not home_page:
+            home_page.ensure_frame()[:] = source.frame
+            for writer, through in source.applied.items():
+                home_page.mark_applied(writer, through)
+        else:
+            home_page.ensure_frame()
+        if home not in entry.sharers:
+            entry.sharers.append(home)
+
+    def _authority(self, pid: int, page: int) -> int:
+        """Who serves page copies to ``pid`` right now."""
+        entry = self._dir(page)
+        if entry.mode == HOME:
+            return self.page_home(page)
+        others = [s for s in entry.sharers if s != pid]
+        return others[0] if others else pid
+
+    def _update_destination(self, pid: int, page: int) -> Optional[int]:
+        """Where ``pid``'s writes to ``page`` are automatically sent."""
+        entry = self._dir(page)
+        if entry.mode == PAIRWISE:
+            ap = self.states[pid].page(page, self.params.words_per_page)
+            return ap.partner
+        if entry.mode == HOME:
+            home = self.page_home(page)
+            return home if home != pid else None
+        return None
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, node: Node, msg: Message) -> None:
+        if isinstance(msg, LockRequest):
+            node.cpu.post_service(
+                "lock-req", lambda: self.locks.handle_request(node, msg))
+        elif isinstance(msg, LockForward):
+            node.cpu.post_service(
+                "lock-fwd", lambda: self.locks.handle_forward(node, msg))
+        elif isinstance(msg, LockGrant):
+            self.locks.handle_grant(node, msg)
+        elif isinstance(msg, BarrierArrive):
+            node.cpu.post_service(
+                "bar-arrive", lambda: self.barriers.handle_arrive(node, msg))
+        elif isinstance(msg, BarrierRelease):
+            self.barriers.handle_release(node, msg)
+        elif isinstance(msg, AurcPageRequest):
+            node.cpu.post_service(
+                "page-fetch", lambda: self._serve_fetch(node, msg))
+        elif isinstance(msg, AurcPageReply):
+            self._handle_reply(node, msg)
+        else:
+            raise TypeError(f"unhandled message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # shared-memory operations
+    # ------------------------------------------------------------------
+
+    def proc_compute(self, pid: int, cycles: float):
+        yield from self.cluster[pid].cpu.hold(cycles, Category.BUSY)
+
+    def proc_read(self, pid: int, addr: int, nwords: int):
+        node = self.cluster[pid]
+        st = self.states[pid]
+        chunks = []
+        for page, offset, count in self.split_by_page(addr, nwords):
+            ap = st.page(page, self.params.words_per_page)
+            if not ap.is_valid():
+                yield from self._fault(node, st, ap)
+            self._note_use(ap)
+            # Capture the data at the access point: a pair replacement
+            # can drop our frame during the interruptible timing hold.
+            chunk = ap.frame[offset:offset + count].copy()
+            busy, others = node.access_cost_cycles(
+                page, page * self.params.words_per_page + offset, count,
+                write=False)
+            yield from node.cpu.hold_split(busy, others)
+            chunks.append(chunk)
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def proc_write(self, pid: int, addr: int, values):
+        node = self.cluster[pid]
+        st = self.states[pid]
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        cursor = 0
+        for page, offset, count in self.split_by_page(addr, len(values)):
+            ap = st.page(page, self.params.words_per_page)
+            if not ap.is_valid():
+                yield from self._fault(node, st, ap)
+            self._note_use(ap)
+            chunk = values[cursor:cursor + count]
+            ap.ensure_frame()[offset:offset + count] = chunk
+            # Automatic update: data lands at the destination's frame
+            # instantly (data plane); timing flows through the AU engine.
+            dst = self._update_destination(pid, page)
+            if dst is not None:
+                dst_page = self.states[dst].page(page,
+                                                 self.params.words_per_page)
+                dst_page.ensure_frame()[offset:offset + count] = chunk
+                seq = node.nic.au_engine.post_write(dst, page, count)
+                st.current_writes[page] = (dst, seq)
+            else:
+                st.current_writes[page] = (pid, 0)
+            busy, others = node.access_cost_cycles(
+                page, page * self.params.words_per_page + offset, count,
+                write=True)
+            yield from node.cpu.hold_split(busy, others)
+            cursor += count
+
+    def proc_acquire(self, pid: int, lock: int):
+        yield from self.locks.acquire(self.cluster[pid], lock)
+
+    def proc_release(self, pid: int, lock: int):
+        node = self.cluster[pid]
+        yield from node.cpu.run_generator(
+            self._end_interval(node), Category.SYNC)
+        yield from self.locks.release(node, lock)
+
+    def proc_barrier(self, pid: int, barrier: int):
+        node = self.cluster[pid]
+        yield from node.cpu.run_generator(
+            self._end_interval(node), Category.SYNC)
+        yield from self.barriers.wait(node, barrier)
+
+    # ------------------------------------------------------------------
+    # intervals and coherence propagation
+    # ------------------------------------------------------------------
+
+    def _end_interval(self, node: Node):
+        """Raw generator: close the interval, recording flush stamps."""
+        st = self.states[node.node_id]
+        pid = node.node_id
+        new_id = st.vc[pid] + 1
+        st.vc.advance(pid)
+        if st.current_writes:
+            pages = tuple(sorted(st.current_writes))
+            stamps = dict(st.current_writes)
+            st.current_writes = {}
+            for page in pages:
+                st.page(page, self.params.words_per_page).mark_applied(
+                    pid, new_id)
+            record = AurcIntervalRecord(writer=pid, interval_id=new_id,
+                                        pages=pages, vc=st.vc.as_tuple(),
+                                        stamps=stamps)
+            st.log.add(record)
+            yield self.sim.timeout(
+                len(pages) * self.params.list_processing_cycles_per_element)
+
+    # -- lock/barrier hooks (shared services from locks.py / barriers.py) --
+
+    def lock_request_payload(self, node: Node):
+        return self.states[node.node_id].vc.as_tuple()
+
+    def lock_grant_payload(self, node: Node, requester: int, req_payload):
+        st = self.states[node.node_id]
+        req_vc = VectorClock(values=req_payload)
+        records = st.log.records_behind(req_vc)
+        notices = sum(r.notice_count for r in records)
+        yield self.sim.timeout(
+            (notices + 1) * self.params.list_processing_cycles_per_element)
+        return (st.vc.as_tuple(), records)
+
+    def lock_process_grant(self, node: Node, payload):
+        yield from self._merge_coherence_info(node, payload)
+
+    def barrier_arrive_payload(self, node: Node):
+        st = self.states[node.node_id]
+        return (st.vc.as_tuple(), st.log.records_behind(st.last_barrier_vc))
+
+    def barrier_merge(self, node: Node, payloads):
+        st = self.states[node.node_id]
+        total = 0
+        merged_vc = st.vc.copy()
+        for vc_tuple, records in payloads:
+            merged_vc.merge(VectorClock(values=vc_tuple))
+            for record in records:
+                st.log.add(record)
+                total += record.notice_count
+        yield self.sim.timeout(
+            (total + 1) * self.params.list_processing_cycles_per_element)
+        return (merged_vc.as_tuple(),
+                st.log.records_behind(st.last_barrier_vc))
+
+    def barrier_release_payload(self, node: Node, dst: int, merged):
+        return merged
+
+    def barrier_process_release(self, node: Node, payload):
+        yield from self._merge_coherence_info(node, payload)
+        st = self.states[node.node_id]
+        st.last_barrier_vc = st.vc.copy()
+
+    def _merge_coherence_info(self, node: Node, payload):
+        """Raw generator: merge notices; invalidate or wait per page."""
+        st = self.states[node.node_id]
+        pid = node.node_id
+        vc_tuple, records = payload
+        notices = 0
+        invalidated: List[AurcPage] = []
+        waits: List[Tuple[int, int]] = []   # (writer, seq) to drain locally
+        for record in records:
+            if record.writer == pid:
+                continue
+            st.log.add(record)
+            notices += record.notice_count
+            for page in record.pages:
+                ap = st.page(page, self.params.words_per_page)
+                dst, seq = record.stamps.get(page, (record.writer, 0))
+                newly_invalid = ap.record_notice(record.writer,
+                                                 record.interval_id, dst, seq)
+                if ap.prefetch_ready:
+                    ap.prefetch_ready = False
+                    self.stats.prefetch.useless += 1
+                if dst == pid:
+                    # Updates flow to us automatically (pairwise partner
+                    # or we are the home): wait, do not invalidate.
+                    waits.append((record.writer, seq))
+                    ap.mark_applied(record.writer, record.interval_id)
+                elif newly_invalid and ap.has_frame:
+                    invalidated.append(ap)
+        st.vc.merge(VectorClock(values=vc_tuple))
+        cost = (notices * self.params.list_processing_cycles_per_element
+                + len(invalidated) * self.params.page_state_change_cycles)
+        if cost:
+            yield self.sim.timeout(cost)
+        for writer, seq in waits:
+            if seq:
+                self.stats.local_waits += 1
+                yield from node.nic.au_engine.wait_for(writer, seq)
+        for ap in invalidated:
+            self._invalidate_cached(node, ap)
+        if self.prefetch:
+            yield from self._issue_prefetches(node, st)
+
+    def _invalidate_cached(self, node: Node, ap: AurcPage) -> None:
+        base = ap.page * self.params.words_per_page
+        node.cache.invalidate_range(base, self.params.words_per_page)
+        node.tlb.invalidate(ap.page)
+
+    # ------------------------------------------------------------------
+    # faults and fetches
+    # ------------------------------------------------------------------
+
+    def _note_use(self, ap: AurcPage) -> None:
+        ap.referenced = True
+        if ap.prefetch_ready:
+            ap.prefetch_ready = False
+            self.stats.prefetch.useful += 1
+            if ap.prefetch_issued_at is not None:
+                self.stats.prefetch.lead_cycles_total += (
+                    self.sim.now - ap.prefetch_issued_at)
+
+    def _fault(self, node: Node, st: NodeAurcState, ap: AurcPage):
+        """Processor-context generator: make ``ap`` valid (charges DATA)."""
+        self.stats.faults += 1
+        if ap.prefetch_event is not None:
+            self.stats.prefetch.late += 1
+            yield from node.cpu.wait(ap.prefetch_event, Category.DATA)
+        while not ap.is_valid():
+            pid = node.node_id
+            authority = self._join_sharing(pid, ap.page)
+            if authority == pid:
+                # We are the home (or the solo first toucher): wait for
+                # in-flight updates named by our pending stamps.
+                ap.ensure_frame()
+                for writer, (interval, dst, seq) in list(
+                        ap.pending_stamps.items()):
+                    if seq and dst == pid:
+                        self.stats.local_waits += 1
+                        start = self.sim.now
+                        gate = Event(self.sim)
+                        self.sim.process(
+                            self._drain_wait(node, writer, seq, gate))
+                        yield from node.cpu.wait(gate, Category.DATA)
+                    ap.mark_applied(writer, interval)
+                yield from node.cpu.hold(
+                    self.params.page_state_change_cycles, Category.DATA)
+                continue
+            yield from self._fetch_page(node, st, ap, authority,
+                                        prefetch=False)
+
+    def _drain_wait(self, node: Node, writer: int, seq: int, gate: Event):
+        yield from node.nic.au_engine.wait_for(writer, seq)
+        gate.succeed()
+
+    def _fetch_page(self, node: Node, st: NodeAurcState, ap: AurcPage,
+                    authority: int, prefetch: bool):
+        """Processor-context generator: fetch a page copy from authority."""
+        self.stats.fetches += 1
+        pid = node.node_id
+        wait_stamps = {writer: seq
+                       for writer, (interval, dst, seq) in
+                       ap.pending_stamps.items()
+                       if dst == authority and seq}
+        # Everything pending *now* is satisfied by the fetched copy
+        # (instant data plane; the authority drains the stamped updates).
+        covered = {writer: interval
+                   for writer, (interval, _dst, _seq) in
+                   ap.pending_stamps.items()}
+        token = self.new_token()
+        done = self.register_pending(token, (ap, covered))
+        request = AurcPageRequest(
+            requester=pid, page=ap.page, token=token,
+            stamps=wait_stamps, prefetch=prefetch)
+        yield from node.cpu.run_generator(
+            self.send(node, authority, request), Category.DATA)
+        reply: AurcPageReply = yield from node.cpu.wait(done, Category.DATA)
+        yield from node.cpu.run_generator(
+            node.memory.access(self.params.words_per_page), Category.DATA)
+        self._install(node, ap, reply, covered)
+
+    def _receives_updates(self, pid: int, page: int) -> bool:
+        """True when ``pid``'s frame is an automatic-update destination
+        (pairwise partner, or the home of a write-through page): such a
+        frame is always current and must never be overwritten by a
+        possibly older fetched snapshot."""
+        ap = self.states[pid].pages.get(page)
+        if ap is not None and ap.partner is not None:
+            return True
+        entry = self.directory.get(page)
+        return (entry is not None and entry.mode == HOME
+                and pid == self.page_home(page))
+
+    def _install(self, node: Node, ap: AurcPage, reply: AurcPageReply,
+                 covered: Optional[Dict[int, int]] = None) -> None:
+        """Install a fetched copy.
+
+        ``covered`` is the set of (writer -> interval) notices that were
+        pending when the request was issued; the copy satisfies exactly
+        those (plus whatever the authority's versions say).  Notices that
+        arrived *after* the request stay pending -- the snapshot may
+        predate them -- and trigger a refetch on the next access.
+        """
+        if self._receives_updates(node.node_id, ap.page) and ap.has_frame:
+            # The instant data plane has kept (and may have advanced) our
+            # frame since the reply's snapshot -- installing the snapshot
+            # would lose in-flight updates.
+            pass
+        else:
+            ap.frame = reply.frame.copy()
+        for writer, through in reply.versions.items():
+            ap.mark_applied(writer, through)
+        for writer, through in (covered or {}).items():
+            ap.mark_applied(writer, through)
+        for writer in list(ap.pending_stamps):
+            interval, _dst, _seq = ap.pending_stamps[writer]
+            if ap.applied.get(writer, 0) >= interval:
+                del ap.pending_stamps[writer]
+        self._invalidate_cached(node, ap)
+
+    def _serve_fetch(self, node: Node, msg: AurcPageRequest):
+        """Raw generator (authority service): drain updates, send the page."""
+        st = self.states[node.node_id]
+        ap = st.page(msg.page, self.params.words_per_page)
+        yield self.sim.timeout(self.params.message_handler_cycles)
+        for writer, seq in msg.stamps.items():
+            if seq:
+                yield from node.nic.au_engine.wait_for(writer, seq)
+        yield from node.memory.access(self.params.words_per_page)
+        if ap.has_frame:
+            frame, versions = ap.frame, ap.applied_snapshot()
+        else:
+            # We were replaced out of the pair while this request was in
+            # flight: answer from the current authoritative copy (data
+            # plane) without resurrecting our own dropped frame.
+            frame, versions = self._donor_copy(msg.page, node.node_id,
+                                               msg.requester)
+        reply = AurcPageReply(page=msg.page, token=msg.token,
+                              versions=versions,
+                              prefetch=msg.prefetch,
+                              frame=frame.copy())
+        yield from self.send(node, msg.requester, reply,
+                             traffic_class="page")
+
+    def _donor_copy(self, page: int, server: int, requester: int):
+        """Current authoritative (frame, versions) for a stale fetch.
+
+        Prefers the home, then any sharer with a frame; a page nobody
+        holds is legitimately all zeros.
+        """
+        words = self.params.words_per_page
+        entry = self._dir(page)
+        candidates = [self.page_home(page)] + list(entry.sharers)
+        for pid in candidates:
+            if pid in (server, requester):
+                continue
+            donor = self.states[pid].pages.get(page)
+            if donor is not None and donor.has_frame:
+                return donor.frame, donor.applied_snapshot()
+        return np.zeros(words, dtype=np.float64), {}
+
+    def _handle_reply(self, node: Node, msg: AurcPageReply) -> None:
+        context = self.pending_context(msg.token)
+        if context is None:
+            return
+        ap, covered = context
+        if msg.prefetch:
+            def apply_work():
+                yield from node.memory.access(self.params.words_per_page)
+                st = self.states[node.node_id]
+                if (ap.page in st.current_writes
+                        and not self._receives_updates(node.node_id,
+                                                       ap.page)):
+                    # We wrote this page while the prefetch was in
+                    # flight; installing the snapshot would lose our
+                    # local words.  Drop the prefetch instead.
+                    self.complete_pending(msg.token, msg)
+                    return
+                self._install(node, ap, msg, covered)
+                self.complete_pending(msg.token, msg)
+            node.cpu.post_service("pf-install", apply_work,
+                                  category=Category.DATA)
+        else:
+            self.complete_pending(msg.token, msg)
+
+    # ------------------------------------------------------------------
+    # prefetching (AURC+P)
+    # ------------------------------------------------------------------
+
+    def _issue_prefetches(self, node: Node, st: NodeAurcState):
+        """Raw generator: page prefetches for cached+referenced invalid
+        pages (same heuristic as overlapping TreadMarks; no priorities)."""
+        pid = node.node_id
+        candidates = [ap for ap in st.pages.values()
+                      if (ap.has_frame and ap.referenced
+                          and not ap.is_valid()
+                          and ap.prefetch_event is None)]
+        for ap in candidates:
+            authority = self._authority(pid, ap.page)
+            if authority == pid:
+                continue
+            self.stats.prefetch.issued += 1
+            self.stats.prefetch.diff_requests += 1
+            token = self.new_token()
+            done = self.register_pending(token, None)
+            stamps = {writer: seq
+                      for writer, (interval, dst, seq) in
+                      ap.pending_stamps.items()
+                      if dst == authority and seq}
+            covered = {writer: interval
+                       for writer, (interval, _d, _s) in
+                       ap.pending_stamps.items()}
+            self._pending[token] = (done, (ap, covered))
+            request = AurcPageRequest(requester=pid, page=ap.page,
+                                      token=token, stamps=stamps,
+                                      prefetch=True)
+            yield from self.send(node, authority, request)
+            ap.prefetch_event = done
+            ap.prefetch_issued_at = self.sim.now
+            ap.referenced = False
+            self.sim.process(self._finalize_prefetch(ap),
+                             name=f"aurc-pf-p{ap.page}")
+
+    def _finalize_prefetch(self, ap: AurcPage):
+        event = ap.prefetch_event
+        yield event
+        ap.prefetch_event = None
+        if ap.is_valid():
+            ap.prefetch_ready = True
+
+    # ------------------------------------------------------------------
+    # end-of-run accounting
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        for st in self.states:
+            for ap in st.pages.values():
+                if ap.prefetch_ready or ap.prefetch_event is not None:
+                    ap.prefetch_ready = False
+                    ap.prefetch_event = None
+                    self.stats.prefetch.useless += 1
+
+    def total_update_traffic_bytes(self) -> int:
+        return sum(node.nic.au_engine.update_bytes
+                   for node in self.cluster.nodes)

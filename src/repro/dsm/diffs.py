@@ -1,0 +1,82 @@
+"""Diff records: word-granularity encodings of page modifications.
+
+A diff is the paper's central data structure: the set of words of a page
+a writer modified, together with their values.  In the Base protocol a
+diff is computed by comparing the page against its **twin** (a copy taken
+at the first write); with the controller's hardware support the snooped
+**bit vector** directly names the dirty words and no twin exists.
+
+Both paths produce the same :class:`DiffRecord`; they differ only in the
+*time* charged (see :class:`~repro.hardware.controller.ProtocolController`)
+and in whether a twin had to be maintained.
+
+A diff covers a half-open range of the writer's intervals
+``(from_id, to_id]``: like real TreadMarks, a lazily created diff
+captures every modification since the twin (or since the bit vector was
+last cleared), which may span several completed intervals.  For
+data-race-free programs this is unobservable (any word a causally
+ordered reader consumes cannot have been concurrently overwritten
+without a race), and it is exactly how twin-based TreadMarks behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiffRecord", "diff_from_mask", "apply_diff", "apply_order"]
+
+
+@dataclass(frozen=True, eq=False)  # identity equality: ndarray fields
+class DiffRecord:
+    """Dirty words of one page from one writer, spanning (from_id, to_id].
+
+    ``to_vc`` is the writer's vector clock at interval ``to_id``; applying
+    a set of diffs in any linear extension of the ``to_vc`` dominance
+    order respects happens-before (sorting by ``sum(to_vc)`` is such an
+    extension because clock entries never decrease).
+    """
+
+    writer: int
+    page: int
+    from_id: int
+    to_id: int
+    indices: np.ndarray  # int32 word offsets within the page, sorted
+    values: np.ndarray   # float64 word values, parallel to indices
+    to_vc: tuple = ()
+
+    @property
+    def dirty_words(self) -> int:
+        return len(self.indices)
+
+    def size_bytes(self, word_bytes: int, page_words: int) -> int:
+        """Wire size: the bit vector plus the dirty words (section 3.1)."""
+        bitvector = page_words // 8
+        return bitvector + self.dirty_words * word_bytes
+
+    def __repr__(self) -> str:
+        return (f"DiffRecord(w{self.writer} p{self.page} "
+                f"({self.from_id},{self.to_id}] {self.dirty_words} words)")
+
+
+def diff_from_mask(writer: int, page: int, from_id: int, to_id: int,
+                   mask: np.ndarray, frame: np.ndarray,
+                   to_vc: tuple = ()) -> DiffRecord:
+    """Build a diff from a dirty-word mask and the current page contents."""
+    indices = np.flatnonzero(mask).astype(np.int32)
+    values = frame[indices].copy()
+    return DiffRecord(writer=writer, page=page, from_id=from_id,
+                      to_id=to_id, indices=indices, values=values,
+                      to_vc=to_vc)
+
+
+def apply_order(diffs):
+    """Sort diffs into a happens-before-respecting application order."""
+    return sorted(diffs, key=lambda d: (sum(d.to_vc), d.writer, d.to_id))
+
+
+def apply_diff(frame: np.ndarray, diff: DiffRecord) -> None:
+    """Scatter a diff's words into a page frame."""
+    if diff.dirty_words:
+        frame[diff.indices] = diff.values

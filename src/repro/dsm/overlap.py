@@ -1,0 +1,68 @@
+"""Overlap-mode definitions (paper section 5.1's six TreadMarks bars).
+
+Each mode is a combination of the three overhead-tolerance techniques
+the protocol controller affords:
+
+* ``offload`` (**I**): basic protocol actions (page/diff request service,
+  diff creation/application, message send/receive) run on the protocol
+  controller; the computation processor is interrupted only for
+  "complicated" work (interval and write-notice processing).
+* ``hardware_diffs`` (**D**): diffs are created and applied by the
+  controller's bit-vector-directed DMA engine; twins are never needed.
+  Requires ``offload`` (the DMA engine lives on the controller).
+* ``prefetch`` (**P**): at lock acquires, previously cached-and-invalidated
+  pages have their diffs requested ahead of the next access fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OverlapMode", "BASE", "I", "ID", "P", "IP", "IPD", "ALL_MODES",
+           "mode_by_name"]
+
+
+@dataclass(frozen=True)
+class OverlapMode:
+    """One configuration of the TreadMarks protocol."""
+
+    name: str
+    offload: bool = False
+    hardware_diffs: bool = False
+    prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hardware_diffs and not self.offload:
+            raise ValueError(
+                "hardware diffs require the protocol controller (offload)")
+
+    @property
+    def uses_controller(self) -> bool:
+        return self.offload
+
+    @property
+    def uses_twins(self) -> bool:
+        """Twins are needed whenever diffs are computed in software."""
+        return not self.hardware_diffs
+
+
+BASE = OverlapMode("Base")
+I = OverlapMode("I", offload=True)
+ID = OverlapMode("I+D", offload=True, hardware_diffs=True)
+P = OverlapMode("P", prefetch=True)
+IP = OverlapMode("I+P", offload=True, prefetch=True)
+IPD = OverlapMode("I+P+D", offload=True, hardware_diffs=True, prefetch=True)
+
+ALL_MODES = (BASE, I, ID, P, IP, IPD)
+
+_BY_NAME = {mode.name: mode for mode in ALL_MODES}
+
+
+def mode_by_name(name: str) -> OverlapMode:
+    """Look up one of the six canonical modes by its paper label."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown overlap mode {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

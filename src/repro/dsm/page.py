@@ -1,0 +1,188 @@
+"""Per-node page state for the TreadMarks protocols.
+
+Each node tracks, for every shared page it has touched:
+
+* its local **frame** (the actual words, a numpy array);
+* per-writer **applied**/**notified** interval watermarks.  A write
+  notice (w, i) is *pending* while ``notified[w] > applied[w]``; a page
+  is valid only when it has a frame and no pending notices;
+* write-collection state: the **twin** flag and the **dirty mask** (the
+  bit vector of words written since the last diff creation), plus the
+  list of completed-but-undiffed interval ids;
+* the **diff store** of already-created diffs (reused across requesters);
+* prefetch bookkeeping (referenced flag, in-flight event).
+
+The watermark representation keeps validity checks O(sharers) and makes
+"which diffs do I still need" a per-writer range query, matching how
+TreadMarks walks its write-notice lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dsm.diffs import DiffRecord, apply_diff, diff_from_mask
+
+__all__ = ["TmPage"]
+
+
+class TmPage:
+    """One node's view of one shared page (TreadMarks)."""
+
+    __slots__ = (
+        "page", "words", "frame", "applied", "notified", "write_active",
+        "has_twin", "dirty_mask", "last_closed_id", "diff_store",
+        "unmaterialized", "referenced", "prefetch_event",
+        "prefetch_issued_at", "prefetch_ready", "pf_useless_streak",
+        "copyset",
+    )
+
+    def __init__(self, page: int, words: int):
+        self.page = page
+        self.words = words
+        self.frame: Optional[np.ndarray] = None
+        self.applied: Dict[int, int] = {}
+        self.notified: Dict[int, int] = {}
+        # -- write collection (this node as writer) -----------------------
+        self.write_active = False      # twin made / bit vector armed
+        self.has_twin = False
+        self.dirty_mask: Optional[np.ndarray] = None
+        self.last_closed_id = 0
+        self.diff_store: List[DiffRecord] = []
+        # Diffs whose *data* is pinned (snapshotted at interval close, so
+        # values are exact) but whose creation *cost* has not been charged
+        # yet -- TreadMarks materializes lazily at the first diff request.
+        self.unmaterialized: List[DiffRecord] = []
+        # -- prefetch bookkeeping -----------------------------------------
+        self.referenced = False
+        self.prefetch_event = None
+        self.prefetch_issued_at: Optional[float] = None
+        self.prefetch_ready = False
+        # Consecutive useless prefetches of this page (the adaptive
+        # strategy stops prefetching a page after repeated misfires).
+        self.pf_useless_streak = 0
+        # Nodes that fetched this page or its diffs from us, mapped to
+        # the newest of our intervals they were served: the approximate
+        # copyset (and per-reader watermark) the Lazy Hybrid variant
+        # consults before piggybacking updates on lock grants.
+        self.copyset = {}
+
+    # -- validity ------------------------------------------------------------
+
+    @property
+    def has_frame(self) -> bool:
+        return self.frame is not None
+
+    def pending_writers(self) -> List[int]:
+        """Writers whose notices have not been covered by applied diffs."""
+        return [w for w, notice in self.notified.items()
+                if notice > self.applied.get(w, 0)]
+
+    def is_valid(self) -> bool:
+        return self.has_frame and not self.pending_writers()
+
+    def ensure_frame(self) -> np.ndarray:
+        if self.frame is None:
+            self.frame = np.zeros(self.words, dtype=np.float64)
+        return self.frame
+
+    # -- notices ---------------------------------------------------------------
+
+    def record_notice(self, writer: int, interval_id: int) -> bool:
+        """Merge a write notice; returns True if it newly invalidated."""
+        was_valid = self.is_valid()
+        if interval_id > self.notified.get(writer, 0):
+            self.notified[writer] = interval_id
+        return was_valid and not self.is_valid()
+
+    def mark_applied(self, writer: int, through_id: int) -> None:
+        if through_id > self.applied.get(writer, 0):
+            self.applied[writer] = through_id
+
+    def applied_snapshot(self) -> Dict[int, int]:
+        """Watermarks describing this frame's contents (for page copies)."""
+        return dict(self.applied)
+
+    def adopt_snapshot(self, snapshot: Dict[int, int]) -> None:
+        for writer, through_id in snapshot.items():
+            self.mark_applied(writer, through_id)
+
+    # -- write collection --------------------------------------------------------
+
+    def arm_write_collection(self) -> None:
+        """First write of an epoch: start twin/bit-vector tracking."""
+        self.ensure_frame()
+        self.write_active = True
+        if self.dirty_mask is None:
+            self.dirty_mask = np.zeros(self.words, dtype=bool)
+
+    def record_write(self, offset: int, nwords: int,
+                     values: np.ndarray) -> None:
+        frame = self.ensure_frame()
+        frame[offset:offset + nwords] = values
+        if self.dirty_mask is not None:
+            self.dirty_mask[offset:offset + nwords] = True
+
+    def dirty_count(self) -> int:
+        return int(self.dirty_mask.sum()) if self.dirty_mask is not None else 0
+
+    def close_interval(self, interval_id: int, writer: int,
+                       vc: tuple = ()) -> bool:
+        """End an interval: pin this interval's modifications as a diff.
+
+        The diff's *data* is snapshotted now (so its values are exactly
+        the interval's output -- a consolidated twin diff could otherwise
+        clobber another writer's causally-later words); its creation
+        *cost* is charged lazily when a request first materializes it.
+        Returns True when the page was dirty this interval.  Write
+        collection is disarmed so the next write re-arms it.
+        """
+        if not self.write_active:
+            return False
+        self.write_active = False
+        self.has_twin = False
+        assert self.dirty_mask is not None and self.frame is not None
+        diff = diff_from_mask(writer, self.page, self.last_closed_id,
+                              interval_id, self.dirty_mask, self.frame,
+                              to_vc=vc)
+        self.dirty_mask[:] = False
+        self.last_closed_id = interval_id
+        self.diff_store.append(diff)
+        self.unmaterialized.append(diff)
+        self.mark_applied(writer, interval_id)
+        return True
+
+    # -- diff lookup and materialization ----------------------------------
+
+    def materialize(self, diffs: List[DiffRecord]) -> List[DiffRecord]:
+        """Return (and clear) the subset of ``diffs`` not yet charged."""
+        fresh = [d for d in diffs if d in self.unmaterialized]
+        if fresh:
+            self.unmaterialized = [d for d in self.unmaterialized
+                                   if d not in fresh]
+        return fresh
+
+    def diffs_after(self, after_id: int) -> List[DiffRecord]:
+        """Stored diffs whose range ends beyond ``after_id``, in order."""
+        return [d for d in self.diff_store if d.to_id > after_id]
+
+    def apply_incoming(self, diff: DiffRecord) -> None:
+        """Apply a remote diff to the local frame and advance watermarks.
+
+        Locally dirty words (written since our last interval close) are
+        protected: for a data-race-free program a remote diff can only
+        overlap them through intervals we already applied and then
+        overwrote, so the local value is the causally newest.
+        """
+        frame = self.ensure_frame()
+        if (diff.dirty_words and self.dirty_mask is not None
+                and self.write_active and self.dirty_mask.any()):
+            local_dirty = self.dirty_mask[diff.indices]
+            keep = ~local_dirty
+            if keep.any():
+                frame[diff.indices[keep]] = diff.values[keep]
+        else:
+            apply_diff(frame, diff)
+        self.mark_applied(diff.writer, diff.to_id)

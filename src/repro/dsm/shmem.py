@@ -1,0 +1,132 @@
+"""The application-facing shared-memory interface.
+
+Applications are generators over a :class:`DsmApi`: every shared read,
+shared write, synchronization operation, and block of private
+computation is a ``yield from`` on one of its methods, so the protocol
+and hardware models decide how long everything takes (and, through lock
+contention and timing, what the application does next -- the
+execution-driven property).
+
+:class:`SharedSegment` is the global allocator: a flat, word-addressed,
+page-aligned address space shared by all processes.  :class:`SharedArray`
+is a convenience wrapper for array-style access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.hardware.params import MachineParams
+
+__all__ = ["SharedSegment", "DsmApi", "SharedArray"]
+
+
+class SharedSegment:
+    """Flat shared address space with named, page-aligned allocations."""
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+        self._cursor = 0
+        self._arrays: Dict[str, tuple] = {}
+
+    def alloc(self, name: str, nwords: int, page_align: bool = True) -> int:
+        """Reserve ``nwords``; returns the base word address."""
+        if nwords <= 0:
+            raise ValueError(f"allocation must be positive, got {nwords}")
+        if name in self._arrays:
+            raise ValueError(f"duplicate allocation name {name!r}")
+        if page_align:
+            words_per_page = self.params.words_per_page
+            self._cursor = -(-self._cursor // words_per_page) * words_per_page
+        base = self._cursor
+        self._cursor += nwords
+        self._arrays[name] = (base, nwords)
+        return base
+
+    def base_of(self, name: str) -> int:
+        return self._arrays[name][0]
+
+    @property
+    def total_words(self) -> int:
+        return self._cursor
+
+    @property
+    def n_pages(self) -> int:
+        words_per_page = self.params.words_per_page
+        return -(-self._cursor // words_per_page)
+
+
+class DsmApi:
+    """One process's handle on the DSM: issued from application code.
+
+    All methods are generators; applications drive them with
+    ``yield from``.
+    """
+
+    def __init__(self, protocol, pid: int):
+        self.protocol = protocol
+        self.pid = pid
+        self.nprocs = protocol.n
+
+    def read(self, addr: int, nwords: int = 1):
+        """Generator: read ``nwords`` shared words; returns ndarray."""
+        return (yield from self.protocol.proc_read(self.pid, addr, nwords))
+
+    def read1(self, addr: int):
+        """Generator: read a single shared word; returns a float."""
+        values = yield from self.protocol.proc_read(self.pid, addr, 1)
+        return float(values[0])
+
+    def write(self, addr: int, values):
+        """Generator: write scalar or array ``values`` at ``addr``."""
+        yield from self.protocol.proc_write(self.pid, addr, values)
+
+    def acquire(self, lock: int):
+        """Generator: acquire a global lock."""
+        yield from self.protocol.proc_acquire(self.pid, lock)
+
+    def release(self, lock: int):
+        """Generator: release a global lock."""
+        yield from self.protocol.proc_release(self.pid, lock)
+
+    def barrier(self, barrier: int):
+        """Generator: global barrier (all processes participate)."""
+        yield from self.protocol.proc_barrier(self.pid, barrier)
+
+    def compute(self, cycles: float):
+        """Generator: ``cycles`` of private computation (busy time)."""
+        yield from self.protocol.proc_compute(self.pid, cycles)
+
+
+class SharedArray:
+    """Array view over a shared allocation, for application convenience."""
+
+    def __init__(self, api: DsmApi, base: int, length: int):
+        self.api = api
+        self.base = base
+        self.length = length
+
+    def read(self, index: int, nwords: int = 1):
+        """Generator: read ``nwords`` starting at ``index``."""
+        self._check(index, nwords)
+        return (yield from self.api.read(self.base + index, nwords))
+
+    def read1(self, index: int):
+        """Generator: read one element as a float."""
+        self._check(index, 1)
+        return (yield from self.api.read1(self.base + index))
+
+    def write(self, index: int, values):
+        """Generator: write scalar/array ``values`` starting at ``index``."""
+        nwords = len(values) if isinstance(values, (Sequence, np.ndarray)) \
+            else 1
+        self._check(index, nwords)
+        yield from self.api.write(self.base + index, values)
+
+    def _check(self, index: int, nwords: int) -> None:
+        if index < 0 or index + nwords > self.length:
+            raise IndexError(
+                f"access [{index}, {index + nwords}) outside array of "
+                f"length {self.length}")

@@ -1,0 +1,129 @@
+"""Vector timestamps and interval records (paper section 2).
+
+TreadMarks divides each processor's execution into **intervals**
+delimited by synchronization operations.  A :class:`VectorClock` counts,
+per processor, the highest interval this node knows about; an
+:class:`IntervalRecord` names one completed interval and the pages it
+wrote.  Write notices -- "page X was modified in interval (w, i)" -- are
+derived from interval records, so the same objects travel in lock-grant
+and barrier messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["VectorClock", "IntervalRecord", "IntervalLog"]
+
+
+class VectorClock:
+    """A per-processor interval counter vector with merge/compare ops."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, n: int = 0, values: Iterable[int] | None = None):
+        if values is not None:
+            self._clock = list(values)
+        else:
+            self._clock = [0] * n
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __getitem__(self, proc: int) -> int:
+        return self._clock[proc]
+
+    def __setitem__(self, proc: int, value: int) -> None:
+        if value < self._clock[proc]:
+            raise ValueError("vector clock entries never decrease")
+        self._clock[proc] = value
+
+    def advance(self, proc: int) -> int:
+        """Start ``proc``'s next interval; returns the new interval id."""
+        self._clock[proc] += 1
+        return self._clock[proc]
+
+    def merge(self, other: "VectorClock") -> None:
+        """Element-wise maximum, in place."""
+        for i, value in enumerate(other._clock):
+            if value > self._clock[i]:
+                self._clock[i] = value
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if self >= other element-wise (other's intervals all seen)."""
+        return all(s >= o for s, o in zip(self._clock, other._clock))
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(values=self._clock)
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        return tuple(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, VectorClock)
+                and self._clock == other._clock)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._clock})"
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One completed interval: who, which interval, which pages written.
+
+    ``vc`` is the writer's vector clock at the moment the interval
+    closed; it stamps the interval's position in the happens-before
+    partial order and is what orders diff application across writers.
+    """
+
+    writer: int
+    interval_id: int
+    pages: Tuple[int, ...]
+    vc: Tuple[int, ...] = ()
+
+    @property
+    def notice_count(self) -> int:
+        return len(self.pages)
+
+
+class IntervalLog:
+    """A node's knowledge of completed intervals, indexed by writer.
+
+    Supports the two queries the protocol needs:
+
+    * :meth:`records_after` -- the interval records of ``writer`` with id
+      greater than some bound (what a lock grantor must ship to a
+      requester whose vector clock lags).
+    * :meth:`add` -- merge a record learned from a peer (idempotent).
+    """
+
+    def __init__(self, n_procs: int):
+        self.n_procs = n_procs
+        self._by_writer: List[Dict[int, IntervalRecord]] = [
+            {} for _ in range(n_procs)
+        ]
+
+    def add(self, record: IntervalRecord) -> bool:
+        """Insert a record; returns True if it was new."""
+        slot = self._by_writer[record.writer]
+        if record.interval_id in slot:
+            return False
+        slot[record.interval_id] = record
+        return True
+
+    def records_after(self, writer: int,
+                      after_id: int) -> List[IntervalRecord]:
+        """All known records of ``writer`` with interval id > ``after_id``."""
+        slot = self._by_writer[writer]
+        return [slot[i] for i in sorted(slot) if i > after_id]
+
+    def records_behind(self, clock: VectorClock) -> List[IntervalRecord]:
+        """Every known record not covered by ``clock`` (grant payload)."""
+        out: List[IntervalRecord] = []
+        for writer in range(self.n_procs):
+            out.extend(self.records_after(writer, clock[writer]))
+        return out
+
+    def count(self) -> int:
+        return sum(len(slot) for slot in self._by_writer)

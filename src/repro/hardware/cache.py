@@ -1,0 +1,152 @@
+"""First-level cache and write-buffer models.
+
+These are *analytic* component models: they account hits, misses, and
+stall cycles but do not themselves advance simulated time -- the
+processor model charges the returned cycle counts on its own timeline
+(folding them into the paper's ``others`` category: cache-miss latency
+and write-buffer stall time).  Contention for DRAM by large protocol
+transfers is still modeled mechanistically through
+:class:`~repro.hardware.memory.MainMemory`; single-line fills use
+uncontended DRAM timing, a standard simulator approximation at this
+granularity.
+
+The cache is direct-mapped, physically indexed over the simulated shared
+address space (word-granular addresses).  Shared pages are
+**write-through with allocate**: the paper requires shared writes to
+appear on the memory bus so the protocol controller's snoop logic can set
+diff bits (section 3.1), so every shared write generates bus traffic and
+enters the write buffer regardless of hit/miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.params import MachineParams
+
+__all__ = ["DirectMappedCache", "WriteBuffer", "CacheAccessResult"]
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of one range access: line hits/misses and fill cycles."""
+
+    hits: int
+    misses: int
+    fill_cycles: float
+
+
+class DirectMappedCache:
+    """Direct-mapped data cache with 32-byte lines over word addresses.
+
+    Tags are stored in a numpy array indexed by line; ``-1`` marks an
+    invalid line.  Addresses are global word indices into the simulated
+    shared segment, so distinct pages conflict realistically.
+    """
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+        self.n_lines = params.cache_lines
+        self.words_per_line = params.words_per_line
+        self._tags = np.full(self.n_lines, -1, dtype=np.int64)
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _line_of(self, word_addr: int) -> int:
+        return word_addr // self.words_per_line
+
+    def access_range(self, word_addr: int, nwords: int,
+                     write: bool = False) -> CacheAccessResult:
+        """Touch ``nwords`` consecutive words; returns hit/miss counts.
+
+        Misses allocate the line.  The returned ``fill_cycles`` is the
+        uncontended DRAM time for the missing lines (one setup per
+        miss run, then streaming), which the processor charges as
+        ``others`` stall.
+        """
+        if nwords <= 0:
+            return CacheAccessResult(0, 0, 0.0)
+        first = self._line_of(word_addr)
+        last = self._line_of(word_addr + nwords - 1)
+        lines = np.arange(first, last + 1, dtype=np.int64)
+        idx = lines % self.n_lines
+        hit_mask = self._tags[idx] == lines
+        misses = int((~hit_mask).sum())
+        hits = int(hit_mask.sum())
+        self._tags[idx] = lines
+        self.hits += hits
+        self.misses += misses
+        fill = 0.0
+        if misses:
+            # Each missing line is an independent DRAM access: setup plus
+            # the line's words (misses are rarely adjacent in time).
+            fill = misses * (self.params.memory_setup_cycles
+                             + self.words_per_line
+                             * self.params.memory_cycles_per_word)
+        return CacheAccessResult(hits, misses, fill)
+
+    def invalidate_range(self, word_addr: int, nwords: int) -> int:
+        """Invalidate any cached lines in the range; returns count dropped.
+
+        Used when the protocol (or the controller DMA) writes local memory
+        behind the processor's back -- the processor snoops and drops its
+        stale copies (paper section 3.1).
+        """
+        if nwords <= 0:
+            return 0
+        first = self._line_of(word_addr)
+        last = self._line_of(word_addr + nwords - 1)
+        lines = np.arange(first, last + 1, dtype=np.int64)
+        idx = lines % self.n_lines
+        match = self._tags[idx] == lines
+        count = int(match.sum())
+        self._tags[idx[match]] = -1
+        self.invalidations += count
+        return count
+
+    def flush(self) -> None:
+        self._tags.fill(-1)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class WriteBuffer:
+    """A small FIFO absorbing write-through traffic (Table 1: 4 entries).
+
+    Analytic drain model: the buffer issues one word to the memory bus
+    every ``memory_cycles_per_word`` cycles; the processor can produce one
+    word per cycle.  For a burst of ``nwords`` the processor stalls for
+    whatever the buffer cannot absorb::
+
+        stall = max(0, (nwords - entries) * (drain - 1))
+
+    This captures the paper's observation that write-buffer stall time is
+    a minor but nonzero ``others`` component, and grows when shared pages
+    are written through for snooping.
+    """
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+        self.entries = params.write_buffer_entries
+        self.words_written = 0
+        self.stall_cycles_total = 0.0
+
+    def write_burst(self, nwords: int) -> float:
+        """Account a burst of ``nwords`` write-throughs; returns stall cycles."""
+        if nwords <= 0:
+            return 0.0
+        drain = self.params.memory_cycles_per_word
+        stall = max(0.0, (nwords - self.entries) * (drain - 1.0))
+        self.words_written += nwords
+        self.stall_cycles_total += stall
+        return stall

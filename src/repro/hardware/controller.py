@@ -1,0 +1,170 @@
+"""The PCI-based programmable protocol controller (paper section 3.1).
+
+Architecture (paper figure 4): an integer RISC core running protocol
+software out of 4 MB of local DRAM, bus-snoop logic that records shared
+writes in per-page **bit vectors** (one bit per word), and a custom
+**scatter/gather DMA engine** that creates and applies diffs directed by
+those bit vectors.  As in the NCP2s prototype ("the protocol
+controller is not completely decoupled from the rest of the
+workstation hardware"), the controller's snoop logic and DMA engine sit
+on the **memory bus**: twin/diff memory traffic charges DRAM directly,
+while NIC transfers cross the PCI bus.
+
+The controller runs one command at a time off a **prioritized command
+queue** stored in its memory.  Local commands from the computation
+processor and remote commands arriving from the network interleave in
+this queue; prefetches are enqueued at low priority so urgent requests
+overtake them (footnote 2 of the paper -- the mechanism that makes
+prefetching viable for overlapping TreadMarks but not for AURC).
+
+Division of labor with the DSM layer: the controller charges *time*
+(core cycles, DMA scans, PCI and DRAM occupancy); the protocol supplies
+each command's *work* as a generator that composes those primitives and
+manipulates actual page data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.hardware.params import MachineParams
+from repro.sim import Event, PriorityStore, Simulator
+
+__all__ = ["ProtocolController", "Command", "PRIORITY_URGENT",
+           "PRIORITY_REMOTE", "PRIORITY_PREFETCH"]
+
+# Command-queue priorities (paper section 3.1, footnote 2): commands a
+# computation processor is stalled on come first, then service of
+# remote nodes' requests, then prefetches.
+PRIORITY_URGENT = 0
+PRIORITY_REMOTE = 1
+PRIORITY_PREFETCH = 2
+
+
+@dataclass
+class Command:
+    """One unit of controller work.
+
+    ``work`` is a zero-argument callable returning a generator that runs
+    on the controller's timeline.  ``done`` (if supplied) fires with the
+    generator's return value when the command completes.
+    """
+
+    name: str
+    work: Callable[[], Generator]
+    done: Optional[Event] = None
+    priority: int = PRIORITY_URGENT
+    enqueued_at: float = field(default=0.0)
+
+
+class ProtocolController:
+    """One node's protocol controller: command queue + service loop.
+
+    The RISC core and DMA engine run at the computation-processor clock
+    (paper section 4.1).  Occupancy statistics let experiments report how
+    much protocol work was moved off the computation processor.
+    """
+
+    def __init__(self, sim: Simulator, params: MachineParams, pci, memory,
+                 node_id: int):
+        self.sim = sim
+        self.params = params
+        self.pci = pci
+        self.memory = memory
+        self.node_id = node_id
+        self.queue = PriorityStore(sim, name=f"ctrl-q{node_id}")
+        self.busy_cycles = 0.0
+        self.commands_served = 0
+        self.queue_wait_cycles = 0.0
+        self.per_command_counts: dict[str, int] = {}
+        self._proc = sim.process(self._serve_loop(), name=f"ctrl{node_id}")
+
+    # -- enqueueing ----------------------------------------------------------
+
+    def submit(self, name: str, work: Callable[[], Generator],
+               priority: int = PRIORITY_URGENT,
+               done: Optional[Event] = None) -> Event:
+        """Queue a command; returns the completion event."""
+        if done is None:
+            done = Event(self.sim)
+        cmd = Command(name=name, work=work, done=done, priority=priority,
+                      enqueued_at=self.sim.now)
+        self.queue.put(cmd, priority=priority)
+        return done
+
+    # -- service loop -----------------------------------------------------------
+
+    def _serve_loop(self):
+        while True:
+            cmd: Command = yield self.queue.get()
+            self.queue_wait_cycles += self.sim.now - cmd.enqueued_at
+            started = self.sim.now
+            result = yield from cmd.work()
+            self.busy_cycles += self.sim.now - started
+            self.commands_served += 1
+            self.per_command_counts[cmd.name] = (
+                self.per_command_counts.get(cmd.name, 0) + 1)
+            if cmd.done is not None and not cmd.done.triggered:
+                cmd.done.succeed(result)
+
+    def occupancy(self) -> float:
+        """Fraction of elapsed time the controller core was busy."""
+        return self.busy_cycles / self.sim.now if self.sim.now else 0.0
+
+    # -- timing primitives for protocol-supplied work -------------------------
+
+    def core_work(self, cycles: float):
+        """Generator: occupy the RISC core for ``cycles`` of software."""
+        if cycles > 0:
+            yield self.sim.timeout(cycles)
+
+    def list_work(self, n_elements: int):
+        """Generator: protocol list traversal (Table 1: 6 cycles/element)."""
+        yield from self.core_work(
+            n_elements * self.params.list_processing_cycles_per_element)
+
+    def twin_create(self, nwords: Optional[int] = None):
+        """Generator: copy a page into a twin in software (5 cycles/word
+        plus the memory traffic of reading and writing the page)."""
+        nwords = nwords if nwords is not None else self.params.words_per_page
+        yield from self.core_work(nwords * self.params.twin_cycles_per_word)
+        yield from self.memory.access(2 * nwords)
+
+    def software_diff_create(self, nwords_page: Optional[int] = None):
+        """Generator: software diff creation -- scan the whole page against
+        its twin (7 cycles/word over the full page; ~7K cycles for 4 KB,
+        matching section 3.1's comparison)."""
+        nwords_page = (nwords_page if nwords_page is not None
+                       else self.params.words_per_page)
+        yield from self.core_work(
+            nwords_page * self.params.diff_cycles_per_word)
+        yield from self.memory.access(nwords_page)
+
+    def software_diff_apply(self, dirty_words: int):
+        """Generator: software diff application (7 cycles per dirty word
+        plus memory traffic for the dirty words)."""
+        yield from self.core_work(
+            dirty_words * self.params.diff_cycles_per_word)
+        yield from self.memory.access_scattered(dirty_words)
+
+    def dma_diff_create(self, dirty_words: int):
+        """Generator: DMA diff creation -- bit-vector scan (~200 cycles
+        empty to ~2100 cycles full page) plus gathering the dirty words
+        from main memory across PCI."""
+        yield from self.core_work(self.params.dma_scan_cycles(dirty_words))
+        if dirty_words:
+            yield from self.memory.access_scattered(dirty_words)
+
+    def dma_diff_apply(self, dirty_words: int):
+        """Generator: DMA diff application -- scatter the diff's words into
+        the destination page as directed by its bit vector."""
+        yield from self.core_work(self.params.dma_scan_cycles(dirty_words))
+        if dirty_words:
+            yield from self.memory.access_scattered(dirty_words)
+
+    def page_copy(self, nwords: Optional[int] = None):
+        """Generator: stream a full page between memory and the NIC."""
+        nwords = nwords if nwords is not None else self.params.words_per_page
+        yield from self.pci.transfer(nwords * self.params.word_bytes)
+        yield from self.memory.access(nwords)

@@ -1,0 +1,80 @@
+"""Main-memory (DRAM) model with setup + per-word timing and contention.
+
+Each node has one memory module shared by the computation processor, the
+protocol controller, and the network interface (paper figure 3).  Accesses
+serialize on a single-ported resource; service time is
+``setup + nwords * cycles_per_word`` (Table 1: 10-cycle setup, 3
+cycles/word).  Callers run ``yield from memory.access(nwords)``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.params import MachineParams
+from repro.sim import Resource, Simulator
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """One node's DRAM: a contended single-ported burst device."""
+
+    def __init__(self, sim: Simulator, params: MachineParams,
+                 node_id: int = 0):
+        self.sim = sim
+        self.params = params
+        self.port = Resource(sim, capacity=1, name=f"mem{node_id}")
+        self.total_words = 0
+        self.total_accesses = 0
+
+    def access(self, nwords: int, setup: bool = True):
+        """Generator: occupy the memory port for one burst of ``nwords``.
+
+        ``setup=False`` models back-to-back streaming that amortized the
+        row setup (used by DMA engines continuing a burst).
+        """
+        if nwords <= 0:
+            return
+        cycles = nwords * self.params.memory_cycles_per_word
+        if setup:
+            cycles += self.params.memory_setup_cycles
+        req = self.port.request()
+        yield req
+        try:
+            yield self.sim.timeout(cycles)
+        finally:
+            self.port.release(req)
+        self.total_words += nwords
+        self.total_accesses += 1
+
+    def access_scattered(self, nwords: int):
+        """Generator: access ``nwords`` at non-contiguous addresses.
+
+        Diff gathers/scatters touch isolated words across a page, so
+        roughly every cache-line-sized group pays its own row setup --
+        this is what makes TreadMarks diff operations sensitive to
+        memory latency (paper figure 15).
+        """
+        if nwords <= 0:
+            return
+        groups = -(-nwords // self.params.words_per_line)
+        cycles = (groups * self.params.memory_setup_cycles
+                  + nwords * self.params.memory_cycles_per_word)
+        req = self.port.request()
+        yield req
+        try:
+            yield self.sim.timeout(cycles)
+        finally:
+            self.port.release(req)
+        self.total_words += nwords
+        self.total_accesses += 1
+
+    def access_page(self):
+        """Generator: burst-transfer one full page."""
+        yield from self.access(self.params.words_per_page)
+
+    def service_cycles(self, nwords: int) -> float:
+        """Uncontended service time for an ``nwords`` burst."""
+        return self.params.memory_access_cycles(nwords)
+
+    def utilization(self) -> float:
+        return self.port.utilization()

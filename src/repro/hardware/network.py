@@ -1,0 +1,150 @@
+"""Wormhole-routed 2D mesh interconnect (paper section 4.1).
+
+Topology: an N x N mesh (4 x 4 for the default 16 nodes) with
+bidirectional links modeled as a pair of directed
+:class:`~repro.sim.Resource` channels.  Routing is dimension-ordered
+(XY), which keeps the channel-dependency graph acyclic so the
+hold-while-advancing acquisition below cannot deadlock.
+
+A transfer acquires the links of its route in order (the worm's head
+blocks on a busy link while holding the links behind it), then pays
+
+    head latency   = hops * (switch + wire)
+    serialization  = nbytes * link_cycles_per_byte
+
+and releases the whole path.  This is a standard circuit-like
+approximation of wormhole flow control that preserves the two phenomena
+the paper's results depend on: per-link contention (prefetch bursts and
+AURC update streams congest real links) and bandwidth/latency knobs
+(figures 13-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hardware.params import MachineParams
+from repro.sim import Resource, Simulator
+
+__all__ = ["MeshNetwork", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for reporting."""
+
+    messages: int = 0
+    bytes: int = 0
+    total_latency: float = 0.0
+    total_blocked: float = 0.0
+    per_class_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def mean_latency(self) -> float:
+        return self.total_latency / self.messages if self.messages else 0.0
+
+
+class MeshNetwork:
+    """The mesh: route computation, link resources, and transfer timing."""
+
+    def __init__(self, sim: Simulator, params: MachineParams):
+        self.sim = sim
+        self.params = params
+        self.width = params.mesh_width
+        self.height = params.mesh_height
+        self.n_nodes = params.n_processors
+        self.stats = NetworkStats()
+        # Directed links keyed by (from_node, to_node).
+        self._links: Dict[Tuple[int, int], Resource] = {}
+        for node in range(self.n_nodes):
+            x, y = self.coords(node)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < self.width and 0 <= ny < self.height:
+                    peer = self.node_at(nx, ny)
+                    if peer < self.n_nodes:
+                        self._links[(node, peer)] = Resource(
+                            sim, capacity=1, name=f"link{node}->{peer}")
+
+    # -- topology helpers ---------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """XY (x first, then y) dimension-ordered route as directed links."""
+        if src == dst:
+            return []
+        links = []
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        here = src
+        while x != dx:
+            x += 1 if dx > x else -1
+            nxt = self.node_at(x, y)
+            links.append((here, nxt))
+            here = nxt
+        while y != dy:
+            y += 1 if dy > y else -1
+            nxt = self.node_at(x, y)
+            links.append((here, nxt))
+            here = nxt
+        return links
+
+    def hops(self, src: int, dst: int) -> int:
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(x - dx) + abs(y - dy)
+
+    def uncontended_cycles(self, src: int, dst: int, nbytes: int) -> float:
+        """Transfer time with empty links (for analysis and tests)."""
+        hops = self.hops(src, dst)
+        head = hops * (self.params.switch_latency_cycles
+                       + self.params.wire_latency_cycles)
+        return head + nbytes * self.params.link_cycles_per_byte
+
+    # -- transfer ------------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: int,
+                 traffic_class: str = "protocol"):
+        """Generator: move ``nbytes`` from ``src`` to ``dst`` with contention.
+
+        The caller (NIC) blocks for the full transfer; asynchronous sends
+        wrap this in their own process.
+        """
+        if src == dst:
+            return  # local loopback: no mesh traversal
+        start = self.sim.now
+        path = self.route(src, dst)
+        held = []
+        try:
+            for link_key in path:
+                req = self._links[link_key].request()
+                yield req
+                held.append((link_key, req))
+            blocked = self.sim.now - start
+            head = len(path) * (self.params.switch_latency_cycles
+                                + self.params.wire_latency_cycles)
+            serialization = nbytes * self.params.link_cycles_per_byte
+            yield self.sim.timeout(head + serialization)
+        finally:
+            for link_key, req in held:
+                self._links[link_key].release(req)
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        self.stats.total_latency += self.sim.now - start
+        self.stats.total_blocked += blocked
+        per_class = self.stats.per_class_bytes
+        per_class[traffic_class] = per_class.get(traffic_class, 0) + nbytes
+
+    def link_utilization(self) -> float:
+        """Mean utilization across all links."""
+        utils = [link.utilization() for link in self._links.values()]
+        return sum(utils) / len(utils) if utils else 0.0
+
+    def max_link_utilization(self) -> float:
+        return max((link.utilization() for link in self._links.values()),
+                   default=0.0)

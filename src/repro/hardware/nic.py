@@ -1,0 +1,247 @@
+"""Network interface card, including SHRIMP-style automatic updates.
+
+Each node's NIC sits on the PCI bus (paper figure 3).  It provides:
+
+* **Explicit messaging** (:meth:`NetworkInterface.send`): the sender pays
+  the per-message overhead (Table 1: 200 cycles of NIC setup) plus PCI
+  injection, then the message flies through the mesh asynchronously and
+  is ejected over the destination's PCI bus before the destination's
+  registered handler is invoked.
+* **Automatic updates** (:class:`AutomaticUpdateEngine`): for AURC, write
+  accesses to mapped pages are snooped and propagated to the destination
+  node's memory while both processors keep computing (paper section 3.3).
+  Consecutive updates to the same page combine in a small write cache
+  before injection.  Per-destination sequence numbers support AURC's
+  flush/lock timestamp protocol: a receiver can wait until it has seen
+  everything a writer sent before a given stamp.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.hardware.bus import PciBus
+from repro.hardware.network import MeshNetwork
+from repro.hardware.params import MachineParams
+from repro.sim import Event, Simulator
+
+__all__ = ["NetworkInterface", "AutomaticUpdateEngine", "UpdateBatch"]
+
+
+@dataclass
+class UpdateBatch:
+    """One combined automatic-update transfer queued for injection."""
+
+    dst: int
+    page: int
+    nbytes: int
+    seq: int
+    enqueued_at: float = 0.0
+
+
+class AutomaticUpdateEngine:
+    """The SHRIMP automatic-update pipeline of one node's NIC.
+
+    Writes enter a small combining buffer (the "write cache", Table 1:
+    4 entries); batches drain through the mesh in FIFO order.  The engine
+    keeps, per destination, the sequence number of the last update
+    *injected* (``sent_seq``) and exposes, per source, the last update
+    *delivered* (``received_seq``) so the AURC protocol can implement
+    flush and fetch waits.
+    """
+
+    def __init__(self, nic: "NetworkInterface"):
+        self.nic = nic
+        self.sim = nic.sim
+        self.params = nic.params
+        self._queue: deque[UpdateBatch] = deque()
+        self._in_flight = 0
+        self._wake: Optional[Event] = None
+        self._idle_waiters: List[Event] = []
+        self.sent_seq: Dict[int, int] = {}
+        self.received_seq: Dict[int, int] = {}
+        self._seq_waiters: Dict[int, List] = {}
+        # Statistics
+        self.updates_issued = 0
+        self.updates_combined = 0
+        self.update_bytes = 0
+        self.sim.process(self._drain_loop(), name=f"au-drain{nic.node_id}")
+
+    # -- producer side ------------------------------------------------------
+
+    @property
+    def combining_capacity_bytes(self) -> int:
+        """How much one write-cache flush can carry: the write cache is
+        ``write_cache_entries`` cache lines that combine consecutive
+        updates (section 3.3), so a long sequential write still leaves
+        the NIC as a stream of small messages -- the "excessive update
+        traffic" that shapes the paper's AURC results."""
+        return (self.params.write_cache_entries
+                * self.params.cache_line_bytes)
+
+    def post_write(self, dst: int, page: int, nwords: int) -> int:
+        """Snooped write of ``nwords`` to a mapped page; returns the seq
+        of its last update message.
+
+        Non-blocking: the computation processor continues immediately
+        (that is the whole point of automatic updates).  Consecutive
+        words combine up to one write-cache capacity per message; a
+        large write burst therefore emits many messages.
+        """
+        capacity = self.combining_capacity_bytes
+        nbytes = nwords * self.params.word_bytes
+        # Top up the most recent still-queued batch for the same page.
+        if self._queue:
+            tail = self._queue[-1]
+            if tail.dst == dst and tail.page == page \
+                    and tail.nbytes < capacity:
+                take = min(capacity - tail.nbytes, nbytes)
+                tail.nbytes += take
+                nbytes -= take
+                self.updates_combined += 1
+        seq = self.sent_seq.get(dst, 0)
+        while nbytes > 0:
+            take = min(capacity, nbytes)
+            nbytes -= take
+            seq += 1
+            batch = UpdateBatch(dst=dst, page=page, nbytes=take, seq=seq,
+                                enqueued_at=self.sim.now)
+            self._queue.append(batch)
+            self.updates_issued += 1
+        self.sent_seq[dst] = seq
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return max(seq, self.sent_seq.get(dst, 0))
+
+    def flush(self):
+        """Generator: wait until every queued/in-flight update is delivered.
+
+        Used at lock releases: AURC must ensure its updates are visible
+        (or at least stamped) before passing ownership.
+        """
+        while self._queue or self._in_flight:
+            done = Event(self.sim)
+            self._idle_waiters.append(done)
+            yield done
+
+    # -- consumer side --------------------------------------------------------
+
+    def wait_for(self, src: int, seq: int):
+        """Generator: block until updates from ``src`` through ``seq`` arrived."""
+        while self.received_seq.get(src, 0) < seq:
+            gate = Event(self.sim)
+            self._seq_waiters.setdefault(src, []).append((seq, gate))
+            yield gate
+
+    # -- internals ---------------------------------------------------------------
+
+    def _drain_loop(self):
+        while True:
+            if not self._queue:
+                self._notify_idle()
+                self._wake = Event(self.sim)
+                yield self._wake
+                continue
+            batch = self._queue.popleft()
+            self._in_flight += 1
+            # Per-update injection overhead (1 cycle by default; the
+            # figure 13 variant charges full messaging overhead).
+            yield self.sim.timeout(self.params.aurc_update_overhead_cycles)
+            yield from self.nic.pci.transfer(batch.nbytes)
+            self.sim.process(self._fly(batch), name="au-fly")
+
+    def _fly(self, batch: UpdateBatch):
+        net = self.nic.network
+        yield from net.transfer(self.nic.node_id, batch.dst, batch.nbytes,
+                                traffic_class="update")
+        dst_nic = self.nic.peer(batch.dst)
+        # Destination-side DMA into memory: PCI then DRAM.
+        yield from dst_nic.pci.transfer(batch.nbytes)
+        nwords = max(1, batch.nbytes // self.params.word_bytes)
+        yield from dst_nic.memory.access(nwords)
+        self.update_bytes += batch.nbytes
+        engine = dst_nic.au_engine
+        src = self.nic.node_id
+        if batch.seq > engine.received_seq.get(src, 0):
+            engine.received_seq[src] = batch.seq
+            engine._release_seq_waiters(src)
+        if dst_nic.au_handler is not None:
+            dst_nic.au_handler(src, batch.page, batch.nbytes, batch.seq)
+        self._in_flight -= 1
+        if not self._queue and self._in_flight == 0:
+            self._notify_idle()
+
+    def _release_seq_waiters(self, src: int) -> None:
+        waiters = self._seq_waiters.get(src)
+        if not waiters:
+            return
+        current = self.received_seq.get(src, 0)
+        still = []
+        for seq, gate in waiters:
+            if current >= seq:
+                gate.succeed()
+            else:
+                still.append((seq, gate))
+        self._seq_waiters[src] = still
+
+    def _notify_idle(self) -> None:
+        waiters, self._idle_waiters = self._idle_waiters, []
+        for gate in waiters:
+            gate.succeed()
+
+
+class NetworkInterface:
+    """One node's NIC: explicit messaging plus the automatic-update engine."""
+
+    def __init__(self, sim: Simulator, params: MachineParams,
+                 network: MeshNetwork, pci: PciBus, memory, node_id: int):
+        self.sim = sim
+        self.params = params
+        self.network = network
+        self.pci = pci
+        self.memory = memory
+        self.node_id = node_id
+        self._registry: List["NetworkInterface"] = []
+        # The protocol sets `handler(payload)`; it must not block (it
+        # enqueues or spawns a process).
+        self.handler: Optional[Callable[[Any], None]] = None
+        # AURC hook: called on each delivered automatic-update batch.
+        self.au_handler: Optional[Callable[[int, int, int, int], None]] = None
+        self.au_engine = AutomaticUpdateEngine(self)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach_registry(self, registry: List["NetworkInterface"]) -> None:
+        self._registry = registry
+
+    def peer(self, node_id: int) -> "NetworkInterface":
+        return self._registry[node_id]
+
+    def send(self, dst: int, payload: Any, nbytes: int,
+             traffic_class: str = "protocol", overhead: bool = True):
+        """Generator: inject a message; returns once injection completes.
+
+        The caller (processor or protocol controller) is occupied for the
+        messaging overhead plus the PCI injection; the flight through the
+        mesh and the remote delivery proceed asynchronously.
+        """
+        if overhead:
+            yield self.sim.timeout(self.params.messaging_overhead_cycles)
+        yield from self.pci.transfer(nbytes)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.sim.process(self._fly(dst, payload, nbytes, traffic_class),
+                         name=f"msg{self.node_id}->{dst}")
+
+    def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str):
+        if dst != self.node_id:
+            yield from self.network.transfer(self.node_id, dst, nbytes,
+                                             traffic_class)
+        dst_nic = self.peer(dst)
+        # Ejection DMA at the destination.
+        yield from dst_nic.pci.transfer(nbytes)
+        if dst_nic.handler is None:
+            raise RuntimeError(f"node {dst} has no message handler")
+        dst_nic.handler(payload)

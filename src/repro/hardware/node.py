@@ -1,0 +1,271 @@
+"""Node assembly and the computation-processor execution model.
+
+A :class:`Node` wires together one workstation's components (paper
+figure 3): computation processor, write buffer, direct-mapped cache,
+TLB, local DRAM, PCI bus, NIC, and (in controller configurations) the
+protocol controller.
+
+The :class:`ComputeProcessor` is the heart of the execution-driven
+model.  It runs the application/protocol coroutine on the simulated
+timeline and charges every cycle to a breakdown category.  Incoming
+protocol service requests (remote page/diff requests in configurations
+where the computation processor must handle them, or "complicated"
+operations delegated by the controller) are queued and serviced at
+*interruptible points*: any long hold or wait races against a
+service-arrival gate, mirroring TreadMarks' SIGIO-driven request
+servicing.  Service time is charged to ``IPC`` (including the 400-cycle
+interrupt cost), exactly the paper's IPC category.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, List, Optional
+
+from repro.hardware.bus import MemoryBus, PciBus
+from repro.hardware.cache import DirectMappedCache, WriteBuffer
+from repro.hardware.controller import ProtocolController
+from repro.hardware.memory import MainMemory
+from repro.hardware.network import MeshNetwork
+from repro.hardware.nic import NetworkInterface
+from repro.hardware.params import MachineParams
+from repro.hardware.tlb import Tlb
+from repro.sim import AnyOf, Event, Simulator
+from repro.stats.breakdown import Category, TimeBreakdown
+
+__all__ = ["ComputeProcessor", "Node", "Cluster"]
+
+# Floating-point guard for hold loops: fractional cycle costs (e.g. a
+# 5.42-cycles/word memory sweep point) leave +/- ulp residues in
+# `remaining -= elapsed`; anything below this is "done".
+_EPSILON = 1e-6
+
+
+class ComputeProcessor:
+    """The computation processor: app execution + request servicing."""
+
+    def __init__(self, sim: Simulator, params: MachineParams, node_id: int):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.breakdown = TimeBreakdown()
+        self._pending: deque = deque()
+        self._service_gate: Optional[Event] = None
+        self.main: Optional[object] = None
+        self.finished_at: Optional[float] = None
+        self.services_handled = 0
+
+    # -- service requests ---------------------------------------------------
+
+    def post_service(self, name: str, work: Callable[[], Generator],
+                     category: Category = Category.IPC) -> Event:
+        """Queue work for this processor; returns its completion event.
+
+        Called by the NIC handler or the protocol controller.  Never
+        blocks the caller.  ``category`` is where the service's time is
+        charged: IPC for remote requests (the default), DATA for work
+        done on the node's own behalf (e.g. applying a prefetched diff).
+        """
+        done = Event(self.sim)
+        self._pending.append((name, work, done, category))
+        if self._service_gate is not None and not self._service_gate.triggered:
+            self._service_gate.succeed()
+        return done
+
+    @property
+    def has_pending_service(self) -> bool:
+        return bool(self._pending)
+
+    def _gate(self) -> Event:
+        if self._service_gate is None or self._service_gate.triggered:
+            self._service_gate = Event(self.sim)
+        return self._service_gate
+
+    def drain_services(self):
+        """Generator: service every queued request, charging each item's
+        category (IPC for remote requests) for interrupt entry + handler."""
+        while self._pending:
+            _name, work, done, category = self._pending.popleft()
+            start = self.sim.now
+            # Interrupt entry/exit cost, then the handler itself.
+            yield self.sim.timeout(self.params.interrupt_cycles)
+            result = yield from work()
+            self.breakdown.charge(category, self.sim.now - start)
+            self.services_handled += 1
+            if not done.triggered:
+                done.succeed(result)
+
+    # -- time-charged execution primitives ------------------------------------
+
+    def hold(self, cycles: float, category: Category,
+             interruptible: bool = True):
+        """Generator: advance this processor ``cycles``, charging ``category``.
+
+        At interruptible points, queued service requests preempt the hold;
+        their time goes to IPC and the hold then resumes for its remaining
+        cycles.
+        """
+        remaining = cycles
+        while remaining > _EPSILON:
+            if interruptible and self._pending:
+                yield from self.drain_services()
+                continue
+            start = self.sim.now
+            if interruptible:
+                timeout = self.sim.timeout(remaining)
+                yield AnyOf(self.sim, [timeout, self._gate()])
+                elapsed = self.sim.now - start
+                self.breakdown.charge(category, elapsed)
+                remaining -= elapsed
+            else:
+                yield self.sim.timeout(remaining)
+                self.breakdown.charge(category, remaining)
+                remaining = 0
+
+    def hold_split(self, busy: float, others: float,
+                   interruptible: bool = True):
+        """Generator: advance ``busy + others`` cycles, splitting the
+        charge between BUSY and OTHERS proportionally.
+
+        Used for shared-access batches where issue slots are busy time
+        and cache/TLB/write-buffer stalls are ``others``; one simulated
+        wait keeps the event count down.
+        """
+        total = busy + others
+        if total <= 0:
+            return
+        busy_frac = busy / total
+        remaining = total
+        while remaining > _EPSILON:
+            if interruptible and self._pending:
+                yield from self.drain_services()
+                continue
+            start = self.sim.now
+            if interruptible:
+                timeout = self.sim.timeout(remaining)
+                yield AnyOf(self.sim, [timeout, self._gate()])
+            else:
+                yield self.sim.timeout(remaining)
+            elapsed = self.sim.now - start
+            self.breakdown.charge(Category.BUSY, elapsed * busy_frac)
+            self.breakdown.charge(Category.OTHERS, elapsed * (1 - busy_frac))
+            remaining -= elapsed
+
+    def wait(self, event: Event, category: Category,
+             interruptible: bool = True):
+        """Generator: block on ``event``, charging ``category`` for the wait."""
+        while not event.processed:
+            start = self.sim.now
+            if interruptible:
+                if self._pending:
+                    yield from self.drain_services()
+                    continue
+                yield AnyOf(self.sim, [event, self._gate()])
+            else:
+                yield event
+            self.breakdown.charge(category, self.sim.now - start)
+        return event.value
+
+    def run_generator(self, gen: Generator, category: Category):
+        """Generator: run a sub-generator, charging its elapsed time.
+
+        Used for hardware interactions (bus/memory/NIC generators) whose
+        internal waits should all land in one category.
+        """
+        start = self.sim.now
+        result = yield from gen
+        self.breakdown.charge(category, self.sim.now - start)
+        return result
+
+    # -- main body -----------------------------------------------------------
+
+    def start(self, body: Generator, name: str = "") -> Event:
+        """Launch the processor's main coroutine; returns app-done event.
+
+        After the application body returns, the processor stays alive
+        servicing remote requests (real DSM nodes do the same until the
+        job tears down).
+        """
+        done = Event(self.sim)
+        self.main = self.sim.process(self._run(body, done),
+                                     name=name or f"cpu{self.node_id}")
+        return done
+
+    def _run(self, body: Generator, done: Event):
+        result = yield from body
+        self.finished_at = self.sim.now
+        done.succeed(result)
+        while True:
+            if self._pending:
+                yield from self.drain_services()
+            else:
+                yield self._gate()
+
+
+class Node:
+    """One workstation: processor + memory system + NIC (+ controller)."""
+
+    def __init__(self, sim: Simulator, params: MachineParams, node_id: int,
+                 network: MeshNetwork, with_controller: bool):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.memory = MainMemory(sim, params, node_id)
+        self.pci = PciBus(sim, params, node_id)
+        self.membus = MemoryBus(sim, params, node_id)
+        self.cache = DirectMappedCache(params)
+        self.tlb = Tlb(params)
+        self.write_buffer = WriteBuffer(params)
+        self.nic = NetworkInterface(sim, params, network, self.pci,
+                                    self.memory, node_id)
+        self.controller: Optional[ProtocolController] = None
+        if with_controller:
+            self.controller = ProtocolController(sim, params, self.pci,
+                                                 self.memory, node_id)
+        self.cpu = ComputeProcessor(sim, params, node_id)
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        return self.cpu.breakdown
+
+    def access_cost_cycles(self, page: int, word_addr: int, nwords: int,
+                           write: bool) -> tuple:
+        """Account one shared-memory access batch against cache/TLB/WB.
+
+        Returns ``(busy_cycles, other_cycles)``: issue cycles are busy;
+        TLB fills, cache-line fills, and write-buffer stalls are
+        ``others`` stall.  Shared writes are write-through so the
+        controller can snoop them (section 3.1).
+        """
+        busy = float(nwords)  # one issue slot per word
+        others = 0.0
+        if not self.tlb.touch(page):
+            others += self.tlb.fill_cycles
+        result = self.cache.access_range(word_addr, nwords, write)
+        others += result.fill_cycles
+        if write:
+            others += self.write_buffer.write_burst(nwords)
+        return busy, others
+
+
+class Cluster:
+    """The whole machine: mesh + nodes, with NIC registries wired up."""
+
+    def __init__(self, sim: Simulator, params: MachineParams,
+                 with_controller: bool):
+        self.sim = sim
+        self.params = params
+        self.network = MeshNetwork(sim, params)
+        self.nodes: List[Node] = [
+            Node(sim, params, i, self.network, with_controller)
+            for i in range(params.n_processors)
+        ]
+        registry = [node.nic for node in self.nodes]
+        for node in self.nodes:
+            node.nic.attach_registry(registry)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, node_id: int) -> Node:
+        return self.nodes[node_id]

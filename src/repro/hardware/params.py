@@ -1,0 +1,245 @@
+"""System parameters (paper Table 1) and sensitivity knobs (section 5.3).
+
+All times are in 10-ns computation-processor cycles, as in the paper.  The
+protocol controller's RISC core and DMA engine run at the same clock
+(section 4.1).
+
+The section 5.3 sweeps are expressed through named constructors:
+
+* :meth:`MachineParams.with_messaging_overhead` -- figure 13 (the x axis is
+  labelled "network latency (microseconds)": it is the one-way cost of a
+  small message, dominated by the per-message setup overhead).
+* :meth:`MachineParams.with_network_bandwidth` -- figure 14.
+* :meth:`MachineParams.with_memory_latency` -- figure 15.
+* :meth:`MachineParams.with_memory_bandwidth` -- figure 16.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+__all__ = ["MachineParams", "CYCLE_NS"]
+
+# One processor cycle is 10 ns (100 MHz), per Table 1's caption.
+CYCLE_NS = 10.0
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Immutable bundle of every architectural constant in the simulation.
+
+    Field defaults are exactly the paper's Table 1.  Derived quantities
+    (words per page, per-byte network occupancy, ...) are exposed as
+    properties so a single source of truth feeds every hardware model.
+    """
+
+    # -- processors and pages ---------------------------------------------
+    n_processors: int = 16
+    page_size_bytes: int = 4096
+    word_bytes: int = 4
+
+    # -- TLB ----------------------------------------------------------------
+    tlb_entries: int = 128
+    tlb_fill_cycles: int = 100
+
+    # -- interrupts ----------------------------------------------------------
+    interrupt_cycles: int = 400
+
+    # -- cache / write buffer -------------------------------------------------
+    cache_size_bytes: int = 128 * 1024
+    cache_line_bytes: int = 32
+    write_buffer_entries: int = 4
+    write_cache_entries: int = 4  # AURC automatic-update combining buffer
+
+    # -- memory ----------------------------------------------------------------
+    memory_setup_cycles: int = 10
+    memory_cycles_per_word: float = 3.0
+
+    # -- PCI bus ---------------------------------------------------------------
+    pci_setup_cycles: int = 10
+    pci_cycles_per_word: float = 3.0
+
+    # -- network ----------------------------------------------------------------
+    # 8-bit bidirectional links; one flit (byte) occupies a link for
+    # `wire_latency_cycles`, which yields the paper's default 50 MB/s.
+    net_path_width_bits: int = 8
+    messaging_overhead_cycles: int = 200
+    switch_latency_cycles: int = 4
+    wire_latency_cycles: int = 2
+    # Per-byte link occupancy; None derives it from the wire latency.
+    net_cycles_per_byte: float | None = None
+    # Messaging overhead applied to AURC automatic-update transfers.  The
+    # paper's default assumption is a single cycle (section 5.3); figure 13's
+    # pessimistic variant charges full messaging overhead per update message.
+    aurc_update_overhead_cycles: int = 1
+
+    # -- protocol software costs (Table 1, bottom rows) -----------------------
+    list_processing_cycles_per_element: int = 6
+    twin_cycles_per_word: int = 5
+    diff_cycles_per_word: int = 7
+
+    # -- protocol-controller DMA diff engine (section 3.1) --------------------
+    # Scanning the bit vector of a 4 KB page costs ~200 controller cycles
+    # when no word is written and ~2100 when all are; we interpolate
+    # linearly in the number of dirty words.
+    dma_scan_base_cycles: int = 200
+    dma_scan_full_cycles: int = 2100
+
+    # -- fixed protocol message header size (request/control messages) --------
+    control_message_bytes: int = 64
+    # Per-write-notice wire size inside grant/barrier messages and the
+    # per-interval-record header.
+    write_notice_bytes: int = 8
+    interval_header_bytes: int = 16
+    diff_header_bytes: int = 16
+
+    # -- miscellaneous protocol software costs ---------------------------------
+    # Writing a command descriptor into the controller's queue over PCI.
+    controller_command_issue_cycles: int = 20
+    # Fixed software cost to decode/dispatch one protocol message.
+    message_handler_cycles: int = 50
+    # Changing one page's protection/mapping (mprotect-style).
+    page_state_change_cycles: int = 30
+
+    def __post_init__(self) -> None:
+        if self.page_size_bytes % self.word_bytes:
+            raise ValueError("page size must be a whole number of words")
+        if self.cache_line_bytes % self.word_bytes:
+            raise ValueError("cache line must be a whole number of words")
+        if self.n_processors < 1:
+            raise ValueError("need at least one processor")
+
+    # -- derived quantities -----------------------------------------------
+
+    @property
+    def words_per_page(self) -> int:
+        return self.page_size_bytes // self.word_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.cache_line_bytes // self.word_bytes
+
+    @property
+    def cache_lines(self) -> int:
+        return self.cache_size_bytes // self.cache_line_bytes
+
+    @property
+    def mesh_width(self) -> int:
+        """Mesh x dimension: nodes are laid out row-major, width x height.
+
+        The processor count is factored exactly into the most nearly
+        square width x height grid (16 -> 4x4, 8 -> 2x4, 2 -> 1x2) so
+        every grid position is populated and XY routing never crosses a
+        missing node.
+        """
+        n = self.n_processors
+        width = 1
+        for d in range(1, math.isqrt(n) + 1):
+            if n % d == 0:
+                width = d
+        return width
+
+    @property
+    def mesh_height(self) -> int:
+        return self.n_processors // self.mesh_width
+
+    @property
+    def link_cycles_per_byte(self) -> float:
+        """Cycles each byte occupies a mesh link (inverse bandwidth)."""
+        if self.net_cycles_per_byte is not None:
+            return self.net_cycles_per_byte
+        # 8-bit path moves one byte per wire traversal.
+        return self.wire_latency_cycles * 8 / self.net_path_width_bits
+
+    @property
+    def network_bandwidth_mbs(self) -> float:
+        """Link bandwidth in MB/s (1 cycle = 10 ns)."""
+        return (1.0 / self.link_cycles_per_byte) * (1000.0 / CYCLE_NS)
+
+    @property
+    def memory_latency_ns(self) -> float:
+        """First-access latency (the figure 15 x axis)."""
+        return self.memory_setup_cycles * CYCLE_NS
+
+    @property
+    def memory_block_bandwidth_mbs(self) -> float:
+        """Effective cache-block transfer bandwidth (figure 16 x axis).
+
+        A 32-byte block costs setup + 8 words; the paper quotes the default
+        as ~103 MB/s.
+        """
+        cycles = self.memory_setup_cycles + (
+            self.words_per_line * self.memory_cycles_per_word)
+        return (self.cache_line_bytes / cycles) * (1000.0 / CYCLE_NS)
+
+    def memory_access_cycles(self, nwords: int) -> float:
+        """DRAM service time for an ``nwords`` burst (setup + per-word)."""
+        if nwords <= 0:
+            return 0.0
+        return self.memory_setup_cycles + nwords * self.memory_cycles_per_word
+
+    def pci_transfer_cycles(self, nbytes: int) -> float:
+        """PCI burst occupancy for ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        nwords = (nbytes + self.word_bytes - 1) // self.word_bytes
+        return self.pci_setup_cycles + nwords * self.pci_cycles_per_word
+
+    def dma_scan_cycles(self, dirty_words: int) -> float:
+        """Bit-vector scan time of the controller's DMA engine."""
+        frac = min(1.0, dirty_words / self.words_per_page)
+        return (self.dma_scan_base_cycles
+                + frac * (self.dma_scan_full_cycles - self.dma_scan_base_cycles))
+
+    # -- sensitivity-sweep constructors (section 5.3) -----------------------
+
+    def replace(self, **changes) -> "MachineParams":
+        """Return a copy with ``changes`` applied (frozen-dataclass helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_messaging_overhead(self, microseconds: float) -> "MachineParams":
+        """Figure 13: one-way small-message latency in microseconds.
+
+        The default 200-cycle overhead corresponds to the paper's stated
+        2 us default; the sweep scales the per-message setup cost.
+        """
+        # 2 us default <-> 200 cycles: 100 cycles per microsecond.
+        cycles = int(round(microseconds * 100))
+        return self.replace(messaging_overhead_cycles=cycles)
+
+    def with_network_bandwidth(self, mbs: float) -> "MachineParams":
+        """Figure 14: link bandwidth in MB/s (default 50)."""
+        if mbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        cycles_per_byte = (1000.0 / CYCLE_NS) / mbs
+        return self.replace(net_cycles_per_byte=cycles_per_byte)
+
+    def with_memory_latency(self, nanoseconds: float) -> "MachineParams":
+        """Figure 15: DRAM setup latency in ns (default 100)."""
+        if nanoseconds < 0:
+            raise ValueError("latency must be non-negative")
+        return self.replace(
+            memory_setup_cycles=int(round(nanoseconds / CYCLE_NS)))
+
+    def with_memory_bandwidth(self, mbs: float) -> "MachineParams":
+        """Figure 16: effective block-transfer bandwidth in MB/s.
+
+        Solves for the per-word streaming cost that yields ``mbs`` for
+        cache-block transfers at the current setup latency.
+        """
+        if mbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        block_cycles = (self.cache_line_bytes / mbs) * (1000.0 / CYCLE_NS)
+        per_word = (block_cycles - self.memory_setup_cycles) / self.words_per_line
+        if per_word <= 0:
+            raise ValueError(
+                f"bandwidth {mbs} MB/s unreachable at setup latency "
+                f"{self.memory_setup_cycles} cycles")
+        return self.replace(memory_cycles_per_word=per_word)
+
+    def with_aurc_full_update_overhead(self) -> "MachineParams":
+        """Figure 13 variant: updates pay full messaging overhead."""
+        return self.replace(
+            aurc_update_overhead_cycles=self.messaging_overhead_cycles)

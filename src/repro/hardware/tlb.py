@@ -1,0 +1,49 @@
+"""Software-filled TLB model (Table 1: 128 entries, 100-cycle fill).
+
+Like the cache model, this is analytic: ``touch`` returns whether the
+page translation hit, and the caller charges ``fill_cycles`` of stall
+(``others`` category) on a miss.  Replacement is LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.hardware.params import MachineParams
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """LRU translation lookaside buffer over page numbers."""
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+        self.capacity = params.tlb_entries
+        self.fill_cycles = params.tlb_fill_cycles
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, page: int) -> bool:
+        """Access page ``page``; returns True on hit, False on miss+fill."""
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[page] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def invalidate(self, page: int) -> None:
+        """Drop a translation (page remapped or protection changed)."""
+        self._entries.pop(page, None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,5 @@
+"""Experiment harness: run configurations and figure regeneration."""
+
+from repro.harness.runner import ProtocolConfig, RunResult, run_app
+
+__all__ = ["ProtocolConfig", "RunResult", "run_app"]

@@ -1,0 +1,247 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each function runs the needed simulations and returns plain data
+structures (dicts keyed by application/mode/parameter) that the
+benchmark harness and `repro.harness.figures` render.  DESIGN.md
+section 4 maps experiment ids to these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.apps.barnes import Barnes
+from repro.apps.em3d import Em3d
+from repro.apps.ocean import Ocean
+from repro.apps.radix import Radix
+from repro.apps.tsp import Tsp
+from repro.apps.water import Water
+from repro.dsm.overlap import ALL_MODES
+from repro.harness.runner import ProtocolConfig, RunResult, run_app
+from repro.hardware.params import MachineParams
+from repro.stats.breakdown import Category
+
+__all__ = [
+    "APP_FACTORIES", "APP_ORDER", "MODE_ORDER", "scaled_app",
+    "fig1_speedups", "fig2_breakdown", "fig_overlap_modes",
+    "fig11_12_protocol_comparison", "fig13_messaging_overhead",
+    "fig14_network_bandwidth", "fig15_memory_latency",
+    "fig16_memory_bandwidth",
+]
+
+APP_FACTORIES: Dict[str, Callable[[int], object]] = {
+    "TSP": Tsp,
+    "Water": Water,
+    "Radix": Radix,
+    "Barnes": Barnes,
+    "Em3d": Em3d,
+    "Ocean": Ocean,
+}
+
+# The order the paper's figures list the applications.
+APP_ORDER = ("TSP", "Water", "Radix", "Barnes", "Em3d", "Ocean")
+MODE_ORDER = tuple(mode.name for mode in ALL_MODES)
+
+# Problem-size knobs for quick (test) versus full (bench) runs.
+_QUICK_SIZES = {
+    "TSP": dict(n_cities=9, cutoff=3),
+    "Water": dict(n_molecules=32, steps=1),
+    "Radix": dict(n_keys=16384, radix_bits=5, key_bits=15),
+    "Barnes": dict(n_bodies=64, steps=1),
+    "Em3d": dict(n_nodes=2048, degree=4, iterations=2),
+    "Ocean": dict(grid=34, iterations=3),
+}
+
+
+def scaled_app(name: str, nprocs: int, quick: bool = False):
+    """Instantiate an application at full (default) or quick size."""
+    factory = APP_FACTORIES[name]
+    kwargs = _QUICK_SIZES[name] if quick else {}
+    return factory(nprocs, **kwargs)
+
+
+def _run(name: str, nprocs: int, config: ProtocolConfig,
+         params: Optional[MachineParams] = None,
+         quick: bool = False, verify: bool = False) -> RunResult:
+    app = scaled_app(name, nprocs, quick)
+    return run_app(app, config, params=params, verify=verify)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: Base TreadMarks speedups, 1..16 processors
+# ---------------------------------------------------------------------------
+
+def fig1_speedups(apps: Sequence[str] = APP_ORDER,
+                  proc_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                  quick: bool = False) -> Dict[str, Dict[int, float]]:
+    """Speedup over the 1-processor run, per app and processor count."""
+    out: Dict[str, Dict[int, float]] = {}
+    config = ProtocolConfig.treadmarks("Base")
+    for name in apps:
+        serial = _run(name, 1, config, quick=quick)
+        out[name] = {1: 1.0}
+        for n in proc_counts:
+            if n == 1:
+                continue
+            result = _run(name, n, config, quick=quick)
+            out[name][n] = serial.execution_cycles / result.execution_cycles
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: Base execution-time breakdown at 16 processors
+# ---------------------------------------------------------------------------
+
+def fig2_breakdown(apps: Sequence[str] = APP_ORDER, nprocs: int = 16,
+                   quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Normalized category fractions plus the diff-time percentage."""
+    out: Dict[str, Dict[str, float]] = {}
+    config = ProtocolConfig.treadmarks("Base")
+    for name in apps:
+        result = _run(name, nprocs, config, quick=quick)
+        row = {cat.value: result.category_fraction(cat)
+               for cat in Category}
+        row["diff_pct"] = 100.0 * result.diff_fraction()
+        out[name] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-10: overlap modes per application
+# ---------------------------------------------------------------------------
+
+def fig_overlap_modes(app_name: str, nprocs: int = 16,
+                      modes: Sequence[str] = MODE_ORDER,
+                      quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Per overlap mode: normalized time (vs Base) and category split."""
+    out: Dict[str, Dict[str, float]] = {}
+    base_cycles = None
+    for mode in modes:
+        result = _run(app_name, nprocs, ProtocolConfig.treadmarks(mode),
+                      quick=quick)
+        if mode == "Base":
+            base_cycles = result.execution_cycles
+        row = {cat.value: result.category_fraction(cat)
+               for cat in Category}
+        row["cycles"] = result.execution_cycles
+        row["normalized_pct"] = (100.0 * result.execution_cycles
+                                 / (base_cycles or result.execution_cycles))
+        row["diff_pct"] = 100.0 * result.diff_fraction()
+        stats = result.protocol_stats
+        row["prefetches"] = stats.prefetch.issued
+        row["useless_pf_pct"] = 100.0 * stats.prefetch.useless_fraction()
+        out[mode] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-12: overlapping TreadMarks (I+D) vs AURC vs AURC+P
+# ---------------------------------------------------------------------------
+
+def fig11_12_protocol_comparison(
+        apps: Sequence[str] = APP_ORDER, nprocs: int = 16,
+        quick: bool = False) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized running time (vs overlapping TreadMarks) per protocol."""
+    configs = {
+        "TM/I+D": ProtocolConfig.treadmarks("I+D"),
+        "AURC": ProtocolConfig.aurc(),
+        "AURC+P": ProtocolConfig.aurc(prefetch=True),
+    }
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in apps:
+        rows: Dict[str, Dict[str, float]] = {}
+        baseline = None
+        for label, config in configs.items():
+            result = _run(name, nprocs, config, quick=quick)
+            if baseline is None:
+                baseline = result.execution_cycles
+            row = {cat.value: result.category_fraction(cat)
+                   for cat in Category}
+            row["cycles"] = result.execution_cycles
+            row["normalized_pct"] = (100.0 * result.execution_cycles
+                                     / baseline)
+            rows[label] = row
+        out[name] = rows
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-16: sensitivity sweeps (Em3d, I+D vs AURC)
+# ---------------------------------------------------------------------------
+
+def _sweep(app_name: str, nprocs: int, param_points: Iterable,
+           make_params: Callable[[object], MachineParams],
+           quick: bool,
+           aurc_params: Optional[Callable] = None) -> Dict[str, Dict]:
+    """Run TM/I+D and AURC across a parameter sweep.
+
+    Times are normalized to each protocol's value at the *default*
+    parameters, matching the paper's presentation (figures 13-16
+    normalize to the previous section's results).
+    """
+    tm_config = ProtocolConfig.treadmarks("I+D")
+    aurc_config = ProtocolConfig.aurc()
+    default = MachineParams()
+    tm_base = _run(app_name, nprocs, tm_config, params=default,
+                   quick=quick).execution_cycles
+    aurc_base = _run(app_name, nprocs, aurc_config, params=default,
+                     quick=quick).execution_cycles
+    curves: Dict[str, Dict] = {"TM/I+D": {}, "AURC": {}}
+    for point in param_points:
+        params = make_params(point)
+        tm = _run(app_name, nprocs, tm_config, params=params, quick=quick)
+        curves["TM/I+D"][point] = tm.execution_cycles / tm_base
+        aurc_point_params = (aurc_params(point) if aurc_params is not None
+                             else params)
+        aurc = _run(app_name, nprocs, aurc_config,
+                    params=aurc_point_params, quick=quick)
+        curves["AURC"][point] = aurc.execution_cycles / aurc_base
+    return curves
+
+
+def fig13_messaging_overhead(
+        app_name: str = "Em3d", nprocs: int = 16,
+        microseconds: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
+        quick: bool = False,
+        aurc_full_update_overhead: bool = False) -> Dict[str, Dict]:
+    """Messaging-overhead sweep.  With ``aurc_full_update_overhead`` the
+    AURC update messages pay the full per-message overhead instead of the
+    default single cycle (the paper's pessimistic variant)."""
+    def make(us: float) -> MachineParams:
+        return MachineParams().with_messaging_overhead(us)
+
+    def make_aurc(us: float) -> MachineParams:
+        params = make(us)
+        if aurc_full_update_overhead:
+            params = params.with_aurc_full_update_overhead()
+        return params
+
+    return _sweep(app_name, nprocs, microseconds, make, quick,
+                  aurc_params=make_aurc)
+
+
+def fig14_network_bandwidth(
+        app_name: str = "Em3d", nprocs: int = 16,
+        bandwidths_mbs: Sequence[float] = (10, 25, 50, 100, 200),
+        quick: bool = False) -> Dict[str, Dict]:
+    return _sweep(app_name, nprocs, bandwidths_mbs,
+                  lambda mbs: MachineParams().with_network_bandwidth(mbs),
+                  quick)
+
+
+def fig15_memory_latency(
+        app_name: str = "Em3d", nprocs: int = 16,
+        latencies_ns: Sequence[float] = (40, 100, 150, 200),
+        quick: bool = False) -> Dict[str, Dict]:
+    return _sweep(app_name, nprocs, latencies_ns,
+                  lambda ns: MachineParams().with_memory_latency(ns),
+                  quick)
+
+
+def fig16_memory_bandwidth(
+        app_name: str = "Em3d", nprocs: int = 16,
+        bandwidths_mbs: Sequence[float] = (60, 80, 103, 150, 200),
+        quick: bool = False) -> Dict[str, Dict]:
+    return _sweep(app_name, nprocs, bandwidths_mbs,
+                  lambda mbs: MachineParams().with_memory_bandwidth(mbs),
+                  quick)

@@ -1,0 +1,113 @@
+"""Text rendering of the paper's figures from experiment data.
+
+Every renderer takes the data structure its experiment function returns
+and produces the same rows/series the paper plots, as aligned text --
+the form the benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+__all__ = [
+    "render_speedups", "render_breakdown", "render_overlap",
+    "render_protocol_comparison", "render_sweep", "PAPER_REFERENCE",
+]
+
+# Paper-reported values used for side-by-side comparison in
+# EXPERIMENTS.md.  Speedups are read off figure 1; diff percentages are
+# figure 2's bar annotations; overlap/protocol percentages are the
+# normalized-time labels of figures 5-12.
+PAPER_REFERENCE = {
+    "fig1_speedup16": {
+        "TSP": 9.7, "Water": 6.0, "Radix": 4.0, "Barnes": 4.5,
+        "Em3d": 6.0, "Ocean": 1.6,
+    },
+    "fig2_diff_pct": {
+        "TSP": 1.5, "Water": 7.6, "Radix": 20.6, "Barnes": 10.4,
+        "Em3d": 26.7, "Ocean": 20.9,
+    },
+    "overlap_normalized_pct": {
+        # Figures 5-10 bar labels (Base=100).
+        "TSP": {"I": 100, "I+D": 96, "P": 99, "I+P": 99, "I+P+D": 96},
+        "Water": {"I": 100, "I+D": 89, "P": 110, "I+P": 108,
+                  "I+P+D": 103},
+        "Radix": {"I": 96, "I+D": 96, "P": 214, "I+P": 178,
+                  "I+P+D": 152},
+        "Barnes": {"I": 94, "I+D": 67, "P": 130, "I+P": 106,
+                   "I+P+D": 71},
+        "Em3d": {"I": 95, "I+D": 61, "P": 95, "I+P": 84, "I+P+D": 57},
+        "Ocean": {"I": 95, "I+D": 71, "P": 93, "I+P": 65, "I+P+D": 49},
+    },
+    "protocol_normalized_pct": {
+        # Figures 11-12: (AURC, AURC+P) relative to overlapping TM = 100.
+        "TSP": (100, 132), "Water": (87, 96),
+        "Radix": (115, 1141), "Barnes": (117, 621),
+        "Em3d": (134, 672), "Ocean": (149, 8452),
+    },
+}
+
+
+def render_speedups(data: Mapping[str, Mapping[int, float]]) -> str:
+    """Figure 1: one row per app, one column per processor count."""
+    counts = sorted({n for per_app in data.values() for n in per_app})
+    lines = ["Figure 1 -- TreadMarks (Base) speedups",
+             "app     " + "".join(f"{n:>8d}p" for n in counts)]
+    for app, per_app in data.items():
+        row = "".join(f"{per_app.get(n, float('nan')):9.2f}"
+                      for n in counts)
+        lines.append(f"{app:8s}{row}")
+    return "\n".join(lines)
+
+
+def render_breakdown(data: Mapping[str, Mapping[str, float]]) -> str:
+    """Figure 2: normalized category split + diff percentage per app."""
+    categories = ("busy", "data", "synch", "ipc", "others")
+    lines = ["Figure 2 -- Base execution-time breakdown (16p)",
+             "app     " + "".join(f"{c:>8s}" for c in categories)
+             + "   diff%"]
+    for app, row in data.items():
+        cells = "".join(f"{100 * row[c]:8.1f}" for c in categories)
+        lines.append(f"{app:8s}{cells}{row['diff_pct']:8.1f}")
+    return "\n".join(lines)
+
+
+def render_overlap(app: str,
+                   data: Mapping[str, Mapping[str, float]]) -> str:
+    """Figures 5-10: per-mode normalized time and split for one app."""
+    categories = ("busy", "data", "synch", "ipc", "others")
+    lines = [f"Figures 5-10 -- overlap modes, {app} (Base = 100%)",
+             "mode    " + f"{'norm%':>8s}"
+             + "".join(f"{c:>8s}" for c in categories)
+             + f"{'pf':>6s}{'useless%':>10s}"]
+    for mode, row in data.items():
+        cells = "".join(f"{100 * row[c]:8.1f}" for c in categories)
+        lines.append(
+            f"{mode:8s}{row['normalized_pct']:8.1f}{cells}"
+            f"{row['prefetches']:6.0f}{row['useless_pf_pct']:10.1f}")
+    return "\n".join(lines)
+
+
+def render_protocol_comparison(
+        data: Mapping[str, Mapping[str, Mapping[str, float]]]) -> str:
+    """Figures 11-12: I+D vs AURC vs AURC+P (overlapping TM = 100)."""
+    lines = ["Figures 11-12 -- best running time (TM/I+D = 100%)",
+             f"{'app':8s}{'TM/I+D':>10s}{'AURC':>10s}{'AURC+P':>10s}"]
+    for app, rows in data.items():
+        cells = "".join(f"{rows[label]['normalized_pct']:10.1f}"
+                        for label in ("TM/I+D", "AURC", "AURC+P"))
+        lines.append(f"{app:8s}{cells}")
+    return "\n".join(lines)
+
+
+def render_sweep(title: str, x_label: str,
+                 data: Mapping[str, Mapping[object, float]]) -> str:
+    """Figures 13-16: normalized execution time vs a machine parameter."""
+    points = sorted(next(iter(data.values())).keys())
+    lines = [title,
+             f"{x_label:>12s}" + "".join(f"{label:>12s}"
+                                         for label in data)]
+    for point in points:
+        cells = "".join(f"{data[label][point]:12.3f}" for label in data)
+        lines.append(f"{point:>12}" + cells)
+    return "\n".join(lines)

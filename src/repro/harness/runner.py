@@ -1,0 +1,186 @@
+"""Run one (application, protocol, machine) configuration end to end.
+
+The runner owns the whole lifecycle: build the simulator and cluster,
+allocate the application's shared segment, start one worker coroutine
+per processor, run to completion, snapshot the per-processor time
+breakdowns (the *timed region* ends when the last worker returns), and
+then run the application's epilogue -- result verification through the
+DSM -- outside the timed region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dsm.aurc import Aurc
+from repro.dsm.overlap import BASE, OverlapMode, mode_by_name
+from repro.dsm.shmem import DsmApi, SharedSegment
+from repro.dsm.treadmarks import TreadMarks
+from repro.hardware.network import NetworkStats
+from repro.hardware.node import Cluster
+from repro.hardware.params import MachineParams
+from repro.sim import AllOf, Simulator
+from repro.stats.breakdown import Category, TimeBreakdown
+
+__all__ = ["ProtocolConfig", "RunResult", "run_app"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Which protocol to run: TreadMarks in some overlap mode, or AURC.
+
+    Construct via the named helpers: ``ProtocolConfig.treadmarks("I+D")``
+    or ``ProtocolConfig.aurc(prefetch=True)``.
+    """
+
+    family: str                      # "tm" | "aurc"
+    mode: OverlapMode = BASE         # TreadMarks overlap mode
+    prefetch: bool = False           # AURC prefetching
+
+    @staticmethod
+    def treadmarks(mode_name: str = "Base") -> "ProtocolConfig":
+        return ProtocolConfig(family="tm", mode=mode_by_name(mode_name))
+
+    @staticmethod
+    def aurc(prefetch: bool = False) -> "ProtocolConfig":
+        return ProtocolConfig(family="aurc", prefetch=prefetch)
+
+    @property
+    def label(self) -> str:
+        if self.family == "tm":
+            return f"TM/{self.mode.name}"
+        return "AURC+P" if self.prefetch else "AURC"
+
+    @property
+    def needs_controller(self) -> bool:
+        return self.family == "tm" and self.mode.uses_controller
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one run."""
+
+    app_name: str
+    protocol_label: str
+    n_procs: int
+    execution_cycles: float
+    breakdowns: List[TimeBreakdown]
+    finish_times: List[float]
+    network: NetworkStats
+    protocol_stats: object
+    controller_diff_cycles: List[float] = field(default_factory=list)
+    lock_stats: object = None
+    barrier_stats: object = None
+    verified: bool = False
+
+    @property
+    def merged_breakdown(self) -> TimeBreakdown:
+        merged = TimeBreakdown()
+        for b in self.breakdowns:
+            merged = merged.merged_with(b)
+        return merged
+
+    def category_fraction(self, category: Category) -> float:
+        return self.merged_breakdown.fraction(category)
+
+    def to_json(self) -> dict:
+        """Plain-JSON summary for downstream tooling/archiving."""
+        merged = self.merged_breakdown
+        return {
+            "app": self.app_name,
+            "protocol": self.protocol_label,
+            "n_procs": self.n_procs,
+            "execution_cycles": self.execution_cycles,
+            "breakdown": merged.as_dict(),
+            "finish_times": list(self.finish_times),
+            "network": {
+                "messages": self.network.messages,
+                "bytes": self.network.bytes,
+                "mean_latency": self.network.mean_latency(),
+                "per_class_bytes": dict(self.network.per_class_bytes),
+            },
+            "diff_fraction": self.diff_fraction(),
+            "verified": self.verified,
+        }
+
+    def diff_fraction(self) -> float:
+        """Twin+diff time (processor + controller) as a fraction of the
+        total processor time (the figure 2 percentage)."""
+        merged = self.merged_breakdown
+        total = merged.total
+        if not total:
+            return 0.0
+        diff = merged.diff_cycles + sum(self.controller_diff_cycles)
+        return diff / total
+
+
+def _build_protocol(config: ProtocolConfig, sim: Simulator,
+                    cluster: Cluster, params: MachineParams,
+                    segment: SharedSegment):
+    if config.family == "tm":
+        return TreadMarks(sim, cluster, params, segment, mode=config.mode)
+    if config.family == "aurc":
+        return Aurc(sim, cluster, params, segment, prefetch=config.prefetch)
+    raise ValueError(f"unknown protocol family {config.family!r}")
+
+
+def run_app(app, config: ProtocolConfig,
+            params: Optional[MachineParams] = None,
+            verify: bool = True) -> RunResult:
+    """Simulate ``app`` under ``config``; returns the :class:`RunResult`.
+
+    ``app.nprocs`` fixes the processor count; ``params`` (if given) must
+    agree or is adjusted via ``replace``.
+    """
+    params = params or MachineParams()
+    if params.n_processors != app.nprocs:
+        params = params.replace(n_processors=app.nprocs)
+    sim = Simulator()
+    cluster = Cluster(sim, params, with_controller=config.needs_controller)
+    segment = SharedSegment(params)
+    app.allocate(segment)
+    protocol = _build_protocol(config, sim, cluster, params, segment)
+
+    done_events = []
+    for pid in range(app.nprocs):
+        api = DsmApi(protocol, pid)
+        done_events.append(
+            cluster[pid].cpu.start(app.worker(api, pid),
+                                   name=f"{app.name}-w{pid}"))
+    sim.run(until=AllOf(sim, done_events))
+
+    finish_times = [cluster[pid].cpu.finished_at or sim.now
+                    for pid in range(app.nprocs)]
+    execution_cycles = max(finish_times)
+    breakdowns = [cluster[pid].cpu.breakdown.copy()
+                  for pid in range(app.nprocs)]
+    if hasattr(protocol, "finalize"):
+        protocol.finalize()
+
+    result = RunResult(
+        app_name=app.name,
+        protocol_label=config.label,
+        n_procs=app.nprocs,
+        execution_cycles=execution_cycles,
+        breakdowns=breakdowns,
+        finish_times=finish_times,
+        network=cluster.network.stats,
+        protocol_stats=protocol.stats,
+        controller_diff_cycles=list(
+            getattr(protocol, "controller_diff_cycles", [])),
+        lock_stats=getattr(protocol, "locks", None)
+        and protocol.locks.stats,
+        barrier_stats=getattr(protocol, "barriers", None)
+        and protocol.barriers.stats,
+    )
+
+    if verify:
+        # The epilogue reads results through the DSM on processor 0,
+        # outside the timed region; it raises on mismatch.
+        api0 = DsmApi(protocol, 0)
+        epilogue_done = sim.process(app.epilogue(api0),
+                                    name=f"{app.name}-verify")
+        sim.run(until=epilogue_done)
+        result.verified = True
+    return result

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event engine in the style
+of SimPy, purpose-built for this reproduction.  Application and hardware
+components are *processes*: Python generators that yield :class:`Event`
+objects (timeouts, resource requests, queue gets, other processes) and are
+resumed when those events fire.
+
+Public surface:
+
+* :class:`Simulator` -- the event loop and clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AnyOf`,
+  :class:`AllOf` -- waitable objects.
+* :class:`Interrupt` -- exception thrown into an interrupted process.
+* :class:`Resource`, :class:`PriorityResource` -- contended servers with
+  utilization statistics.
+* :class:`Store`, :class:`PriorityStore` -- message/command queues.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import (
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,378 @@
+"""Core event loop, events, and processes for the simulation kernel.
+
+The design follows the classic generator-coroutine DES pattern:
+
+* The :class:`Simulator` owns a binary heap of ``(time, seq, event)``
+  entries.  ``seq`` is a monotonically increasing tie-breaker so that
+  simultaneous events fire in schedule order, which makes every run
+  fully deterministic.
+* An :class:`Event` is a one-shot waitable.  Processes subscribe by
+  yielding it; when it *succeeds* (or *fails*), all waiting processes
+  are resumed with its value (or the failure exception re-raised inside
+  them).
+* A :class:`Process` wraps a generator and is itself an event that
+  succeeds when the generator returns, so processes can wait for each
+  other simply by yielding them.
+
+Time is measured in integer *processor cycles* throughout the
+reproduction (1 cycle = 10 ns in the paper's Table 1), but the kernel
+accepts any non-negative number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown inside a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a protocol request that needs servicing).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the heap) ->
+    *processed* (callbacks ran).  ``succeed`` and ``fail`` may each be
+    called at most once.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (waiters were resumed)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError("event value accessed before it triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim._schedule(self, delay)
+        return self
+
+    def _resume_waiters(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _ConditionValue:
+    """Mapping from constituent events to values for AnyOf/AllOf results."""
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+    def __getitem__(self, event: Event) -> Any:
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events and event.processed
+
+    def todict(self) -> dict:
+        return {e: e.value for e in self.events if e.processed}
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(_ConditionValue([]))
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                if event.callbacks is None:
+                    raise RuntimeError("cannot wait on a processed event")
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        if not self.triggered:
+            failed = next(
+                (e for e in self.events if e.triggered and not e.ok), None)
+            if failed is not None:
+                self.fail(failed._exception)  # type: ignore[arg-type]
+            else:
+                self.succeed(_ConditionValue(self.events))
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any constituent event triggers."""
+
+    def _on_child(self, event: Event) -> None:
+        self._finish()
+
+
+class AllOf(_Condition):
+    """Succeeds once every constituent event has triggered."""
+
+    def _on_child(self, event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 or (event.triggered and not event.ok):
+            self._finish()
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator may yield any :class:`Event`; the process suspends until
+    the event fires and is resumed with the event's value (or the event's
+    failure exception raised at the yield point).  The generator's return
+    value becomes the process's event value.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at time now.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._step)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        A process may not interrupt itself, and a finished process cannot
+        be interrupted.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        if self.sim._active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from whatever event the process was waiting on.
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._step)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(
+            lambda _evt: self._step_throw(Interrupt(cause)))
+        wakeup.succeed()
+
+    # -- internal stepping ------------------------------------------------
+
+    def _step(self, event: Event) -> None:
+        if event.ok:
+            self._advance(lambda: self._generator.send(
+                event._value if event._value is not _PENDING else None))
+        else:
+            exc = event._exception
+            assert exc is not None
+            self._advance(lambda: self._generator.throw(exc))
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self.triggered:  # finished between interrupt and delivery
+            return
+        self._advance(lambda: self._generator.throw(exc))
+
+    def _advance(self, resume: Callable[[], Any]) -> None:
+        self._waiting_on = None
+        prev, self.sim._active_process = self.sim._active_process, self
+        try:
+            target = resume()
+        except StopIteration as stop:
+            self.sim._active_process = prev
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.sim._active_process = prev
+            if self.sim.strict:
+                raise
+            self.fail(err)
+            return
+        self.sim._active_process = prev
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded non-event {target!r}")
+        if target.processed:
+            # Already fired: re-inspect immediately on a fresh wakeup so we
+            # don't recurse arbitrarily deep.
+            wakeup = Event(self.sim)
+            if target.ok:
+                wakeup._value = target._value
+            else:
+                wakeup._exception = target._exception
+                wakeup._value = None
+            wakeup.callbacks.append(self._step)
+            self.sim._schedule(wakeup, 0)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._step)
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of scheduled events.
+
+    ``strict`` controls error handling inside processes: when True
+    (the default) an uncaught exception in any process aborts the run by
+    propagating out of :meth:`run`, which is what tests want.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0
+        self.strict = strict
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event construction helpers --------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling and the main loop -------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise RuntimeError("time went backwards")
+        self.now = time
+        event._resume_waiters()
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the heap drains, a time limit, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (stop the clock there),
+        or an :class:`Event` (stop when it triggers and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise ValueError("until lies in the past")
+        while self._heap:
+            if stop_event is not None and stop_event.triggered:
+                if not stop_event.ok:
+                    raise stop_event._exception  # type: ignore[misc]
+                return stop_event.value
+            if stop_time is not None and self.peek() > stop_time:
+                self.now = stop_time
+                return None
+            self.step()
+        if stop_event is not None:
+            if stop_event.triggered:
+                if not stop_event.ok:
+                    raise stop_event._exception  # type: ignore[misc]
+                return stop_event.value
+            raise RuntimeError(
+                "simulation ran out of events before `until` event fired")
+        if stop_time is not None:
+            self.now = stop_time
+        return None

@@ -1,0 +1,217 @@
+"""Contended resources and message queues for the simulation kernel.
+
+Two families:
+
+* :class:`Resource` / :class:`PriorityResource` -- a server with fixed
+  capacity.  Processes ``yield resource.request()`` to acquire a slot and
+  call ``resource.release(req)`` when done.  Both record utilization and
+  queueing statistics, which the reproduction uses to report bus, memory,
+  and network contention.
+* :class:`Store` / :class:`PriorityStore` -- unbounded item queues used
+  for protocol-controller command queues and NIC message queues.  The
+  priority variant is what lets the controller serve urgent commands
+  ahead of prefetches (paper section 3.1, footnote 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "PriorityResource", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """Pending acquisition of a resource slot; fires when granted."""
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.requested_at = resource.sim.now
+        self.granted_at: Optional[float] = None
+
+
+class Resource:
+    """A FIFO server with ``capacity`` simultaneous users.
+
+    Statistics:
+
+    * ``busy_time`` -- integral of (users in service) over time, i.e.
+      total service received; divide by elapsed time and capacity for
+      utilization.
+    * ``wait_time`` -- total time requests spent queued before grant.
+    * ``total_requests`` -- number of grants issued.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+        self.busy_time: float = 0.0
+        self.wait_time: float = 0.0
+        self.total_requests: int = 0
+        self._last_change: float = sim.now
+
+    # -- statistics -------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of capacity-time spent busy over ``elapsed`` (or now)."""
+        self._account()
+        span = elapsed if elapsed is not None else self.sim.now
+        if span <= 0:
+            return 0.0
+        return self.busy_time / (span * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- acquire/release ---------------------------------------------------
+
+    def request(self, priority: int = 0) -> Request:
+        req = Request(self, priority)
+        self._enqueue(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        if request not in self.users:
+            raise RuntimeError(f"releasing a request not in service: {request}")
+        self._account()
+        self.users.remove(request)
+        self._grant()
+
+    def _enqueue(self, req: Request) -> None:
+        self._queue.append(req)
+
+    def _pop(self) -> Request:
+        return self._queue.popleft()
+
+    def _grant(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._pop()
+            self._account()
+            self.users.append(req)
+            req.granted_at = self.sim.now
+            self.wait_time += req.granted_at - req.requested_at
+            self.total_requests += 1
+            req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by (priority, arrival).
+
+    Lower ``priority`` values are served first, matching the controller
+    convention that urgent commands are priority 0 and prefetches are
+    priority 1.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._pqueue: List[tuple] = []
+        self._seq = 0
+
+    def _enqueue(self, req: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._pqueue, (req.priority, self._seq, req))
+
+    def _pop(self) -> Request:
+        return heapq.heappop(self._pqueue)[2]
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def _grant(self) -> None:
+        while self._pqueue and len(self.users) < self.capacity:
+            req = self._pop()
+            self._account()
+            self.users.append(req)
+            req.granted_at = self.sim.now
+            self.wait_time += req.granted_at - req.requested_at
+            self.total_requests += 1
+            req.succeed(req)
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (command queues in the controller DRAM are large
+    relative to demand); ``get`` returns an event that fires with the next
+    item.  ``peak_size`` records the high-water mark for reporting.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.peak_size = 0
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_puts += 1
+        self._items.append(item)
+        self.peak_size = max(self.peak_size, len(self._items))
+        self._dispatch()
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _next_item(self) -> Any:
+        return self._items.popleft()
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._next_item())
+
+
+class PriorityStore(Store):
+    """A store whose items are served lowest-priority-value first.
+
+    ``put`` takes an explicit priority; ties break by insertion order so
+    the queue stays FIFO within a priority level.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, name)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any, priority: int = 0) -> None:  # type: ignore[override]
+        self.total_puts += 1
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, item))
+        self.peak_size = max(self.peak_size, len(self._heap))
+        self._dispatch()
+
+    def _next_item(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def _dispatch(self) -> None:
+        while self._heap and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._next_item())

@@ -1,0 +1,114 @@
+"""Lightweight event tracing for simulation debugging and analysis.
+
+A :class:`Tracer` collects timestamped, categorized events emitted by
+instrumented components.  Tracing is opt-in and zero-cost when
+disabled: emit through :meth:`Tracer.emit` only after checking
+``tracer.enabled`` (or use :meth:`Tracer.maybe`).
+
+Typical use::
+
+    tracer = Tracer(sim)
+    tracer.enable("fault", "lock")
+    ...
+    tracer.maybe("fault", node=3, page=17, action="diff-fetch")
+    ...
+    for event in tracer.select(category="fault", node=3):
+        print(event)
+
+The DSM protocols do not emit traces by default (hot paths); tests and
+debugging sessions attach tracers where needed.  The module is part of
+the public kernel API because downstream users building new protocol
+variants need the same visibility we needed while debugging this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from repro.sim.engine import Simulator
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[{self.time:>12.1f}] {self.category:12s} {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` objects for enabled categories."""
+
+    def __init__(self, sim: Simulator, limit: Optional[int] = None):
+        self.sim = sim
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self._enabled: Set[str] = set()
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._enabled)
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        if categories:
+            self._enabled.difference_update(categories)
+        else:
+            self._enabled.clear()
+
+    def wants(self, category: str) -> bool:
+        return category in self._enabled
+
+    def emit(self, category: str, **payload: Any) -> None:
+        """Record an event (caller has already checked ``wants``)."""
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self.sim.now, category, payload))
+
+    def maybe(self, category: str, **payload: Any) -> None:
+        """Record only when the category is enabled."""
+        if category in self._enabled:
+            self.emit(category, **payload)
+
+    def select(self, category: Optional[str] = None,
+               since: float = 0.0, **match: Any) -> Iterator[TraceEvent]:
+        """Iterate recorded events matching category/time/payload filters."""
+        for event in self.events:
+            if category is not None and event.category != category:
+                continue
+            if event.time < since:
+                continue
+            if any(event.payload.get(k) != v for k, v in match.items()):
+                continue
+            yield event
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.category] = out.get(event.category, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def dump(self, category: Optional[str] = None) -> str:
+        return "\n".join(str(e) for e in self.select(category))

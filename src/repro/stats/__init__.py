@@ -1,0 +1,5 @@
+"""Execution-time accounting and report generation."""
+
+from repro.stats.breakdown import Category, TimeBreakdown
+
+__all__ = ["Category", "TimeBreakdown"]

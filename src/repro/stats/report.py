@@ -1,0 +1,126 @@
+"""Run-report generation: human-readable summaries of a RunResult.
+
+The harness returns raw counters; this module turns one or more
+:class:`~repro.harness.runner.RunResult` objects into the summary
+blocks the examples and the CLI print: execution time, per-category
+breakdown bars, protocol event counts, network and prefetch statistics,
+and side-by-side comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.hardware.params import CYCLE_NS
+from repro.stats.breakdown import Category
+
+__all__ = ["format_run", "format_comparison", "speedup_table",
+           "breakdown_bar"]
+
+_BAR_WIDTH = 40
+_CATEGORY_GLYPHS = {
+    Category.BUSY: "#",
+    Category.DATA: "d",
+    Category.SYNC: "s",
+    Category.IPC: "i",
+    Category.OTHERS: ".",
+}
+
+
+def breakdown_bar(breakdown, width: int = _BAR_WIDTH) -> str:
+    """Render a breakdown as a proportional ASCII bar.
+
+    ``#`` busy, ``d`` data, ``s`` synchronization, ``i`` IPC,
+    ``.`` others -- the categories of the paper's figure 2.
+    """
+    total = breakdown.total
+    if total <= 0:
+        return " " * width
+    cells: List[str] = []
+    for category in Category:
+        share = int(round(width * breakdown.fraction(category)))
+        cells.append(_CATEGORY_GLYPHS[category] * share)
+    bar = "".join(cells)[:width]
+    return bar + " " * (width - len(bar))
+
+
+def format_run(result, verbose: bool = False) -> str:
+    """One run's summary block."""
+    merged = result.merged_breakdown
+    ms = result.execution_cycles * CYCLE_NS / 1e6
+    lines = [
+        f"{result.app_name} under {result.protocol_label} "
+        f"on {result.n_procs} processors",
+        f"  execution time : {result.execution_cycles / 1e6:9.2f} Mcycles"
+        f"  ({ms:.2f} ms at 100 MHz)",
+        f"  breakdown      : [{breakdown_bar(merged)}]",
+    ]
+    for category in Category:
+        lines.append(f"    {category.value:7s} "
+                     f"{100 * merged.fraction(category):5.1f}%")
+    stats = result.protocol_stats
+    if hasattr(stats, "diffs_created"):
+        lines.append(
+            f"  protocol       : {stats.read_faults} read faults, "
+            f"{stats.write_faults} write faults, "
+            f"{stats.cold_fetches} page fetches")
+        lines.append(
+            f"                   {stats.diffs_created} diffs created "
+            f"({stats.diff_words_created} words), "
+            f"{stats.twins_created} twins")
+    elif hasattr(stats, "fetches"):
+        lines.append(
+            f"  protocol       : {stats.faults} faults, "
+            f"{stats.fetches} page fetches, "
+            f"{stats.pairwise_formations} pairwise pages, "
+            f"{stats.reverts_to_home} reverts to home")
+    prefetch = getattr(stats, "prefetch", None)
+    if prefetch is not None and prefetch.issued:
+        lines.append(
+            f"  prefetch       : {prefetch.issued} issued, "
+            f"{prefetch.useful} useful, {prefetch.useless} useless, "
+            f"{prefetch.late} late "
+            f"({100 * prefetch.useless_fraction():.0f}% useless)")
+    lines.append(
+        f"  network        : {result.network.messages} messages, "
+        f"{result.network.bytes / 1024:.0f} KiB, "
+        f"mean latency {result.network.mean_latency():.0f} cycles")
+    if verbose:
+        lines.append("  per-processor finish times (Mcycles): "
+                     + ", ".join(f"{t / 1e6:.2f}"
+                                 for t in result.finish_times))
+        if result.controller_diff_cycles:
+            total_ctrl = sum(result.controller_diff_cycles)
+            lines.append(f"  controller diff work: "
+                         f"{total_ctrl / 1e6:.2f} Mcycles total")
+    return "\n".join(lines)
+
+
+def format_comparison(results: Sequence, baseline_index: int = 0) -> str:
+    """Side-by-side normalized comparison of several runs of one app."""
+    if not results:
+        return "(no runs)"
+    base = results[baseline_index].execution_cycles
+    lines = [f"comparison ({results[baseline_index].protocol_label} "
+             f"= 100%)"]
+    for result in results:
+        pct = 100.0 * result.execution_cycles / base
+        merged = result.merged_breakdown
+        lines.append(
+            f"  {result.protocol_label:12s} {pct:7.1f}%  "
+            f"[{breakdown_bar(merged, width=30)}]")
+    return "\n".join(lines)
+
+
+def speedup_table(serial_cycles: float,
+                  parallel_results: Iterable) -> str:
+    """Speedup rows for a set of runs against one serial time."""
+    lines = [f"{'procs':>6s} {'Mcycles':>10s} {'speedup':>9s} "
+             f"{'efficiency':>11s}"]
+    for result in parallel_results:
+        speedup = serial_cycles / result.execution_cycles
+        eff = speedup / result.n_procs
+        lines.append(f"{result.n_procs:6d} "
+                     f"{result.execution_cycles / 1e6:10.2f} "
+                     f"{speedup:9.2f} {100 * eff:10.1f}%")
+    return "\n".join(lines)

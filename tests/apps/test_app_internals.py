@@ -1,0 +1,181 @@
+"""Unit tests of application-internal helpers (no simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes import Barnes
+from repro.apps.base import Application, check_close
+from repro.apps.em3d import Em3d
+from repro.apps.ocean import Ocean, _initial_grid, reference_solution
+from repro.apps.radix import Radix
+from repro.apps.tsp import Tsp
+from repro.apps.water import Water, _pair_forces
+
+
+# -- base helpers --------------------------------------------------------------
+
+def test_block_range_partitions_exactly():
+    app = Application.__new__(Application)
+    app.nprocs = 5
+    ranges = [app.block_range(p, 23) for p in range(5)]
+    covered = []
+    for lo, hi in ranges:
+        covered.extend(range(lo, hi))
+    assert covered == list(range(23))
+    sizes = [hi - lo for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_block_range_more_procs_than_items():
+    app = Application.__new__(Application)
+    app.nprocs = 8
+    sizes = [app.block_range(p, 3) for p in range(8)]
+    assert sum(hi - lo for lo, hi in sizes) == 3
+    assert all(hi >= lo for lo, hi in sizes)
+
+
+def test_check_close_passes_and_fails():
+    check_close([1.0, 2.0], [1.0, 2.0], "ok")
+    with pytest.raises(AssertionError, match="mismatch"):
+        check_close([1.0, 2.5], [1.0, 2.0], "bad")
+    with pytest.raises(AssertionError, match="shape"):
+        check_close([1.0], [1.0, 2.0], "shape")
+
+
+def test_invalid_nprocs_rejected():
+    with pytest.raises(ValueError):
+        Ocean(0)
+
+
+# -- TSP ------------------------------------------------------------------------
+
+def test_greedy_bound_is_a_valid_tour_cost():
+    app = Tsp(2, n_cities=8)
+    from repro.apps.tsp import held_karp
+    greedy = app.greedy_bound()
+    optimal = held_karp(app.dist)
+    assert greedy >= optimal - 1e-9
+
+
+def test_solve_tail_finds_optimum_from_root():
+    app = Tsp(2, n_cities=7)
+    from repro.apps.tsp import held_karp
+    best, visited = app._solve_tail([0], 0.0, app.greedy_bound() + 1e-9)
+    assert best == pytest.approx(held_karp(app.dist))
+    assert visited > 0
+
+
+def test_tsp_distances_symmetric():
+    app = Tsp(2, n_cities=6)
+    assert np.allclose(app.dist, app.dist.T)
+    assert np.allclose(np.diag(app.dist), 0.0)
+
+
+def test_tsp_rejects_tiny_instances():
+    with pytest.raises(ValueError):
+        Tsp(2, n_cities=3)
+
+
+# -- Water -------------------------------------------------------------------------
+
+def test_pair_forces_newton_third_law():
+    rng = np.random.default_rng(1)
+    pos = rng.normal(size=(10, 3))
+    total = np.zeros((10, 3))
+    for i in range(10):
+        total += _pair_forces(pos, i)
+    # Sum of all internal forces is (numerically) zero.
+    assert np.allclose(total.sum(axis=0), 0.0, atol=1e-12)
+
+
+def test_pair_forces_last_row_empty():
+    pos = np.zeros((4, 3))
+    out = _pair_forces(pos, 3)
+    assert not out.any()
+
+
+def test_water_reference_deterministic():
+    a = Water(4, n_molecules=12, steps=2).reference_solution()
+    b = Water(4, n_molecules=12, steps=2).reference_solution()
+    assert np.array_equal(a, b)
+
+
+# -- Ocean ------------------------------------------------------------------------
+
+def test_initial_grid_boundaries():
+    grid = _initial_grid(10)
+    assert grid[0, :].any() and grid[-1, :].any()
+    assert (grid[1:-1, 1:-1] == 0).all()
+
+
+def test_reference_solution_changes_interior():
+    ref = reference_solution(10, iterations=2, omega=1.2)
+    assert ref[1:-1, 1:-1].any()
+
+
+def test_ocean_rejects_tiny_grid():
+    with pytest.raises(ValueError):
+        Ocean(2, grid=3)
+
+
+# -- Radix -------------------------------------------------------------------------
+
+def test_radix_pass_count():
+    app = Radix(2, n_keys=64, radix_bits=4, key_bits=12)
+    assert app.passes == 3
+    assert app.radix == 16
+
+
+def test_radix_rejects_misaligned_bits():
+    with pytest.raises(ValueError):
+        Radix(2, radix_bits=5, key_bits=12)
+
+
+def test_radix_sorted_base_parity():
+    even = Radix(2, n_keys=64, radix_bits=4, key_bits=8)   # 2 passes
+    odd = Radix(2, n_keys=64, radix_bits=4, key_bits=12)   # 3 passes
+    assert even.sorted_base() == even.keys_a
+    assert odd.sorted_base() == odd.keys_b
+
+
+# -- Em3d --------------------------------------------------------------------------
+
+def test_em3d_graph_remote_fraction_respected():
+    app = Em3d(4, n_nodes=2048, degree=5, remote_frac=0.1)
+    lo_hi = [app.block_range(p, app.n_half) for p in range(4)]
+
+    def owner(node):
+        for p, (lo, hi) in enumerate(lo_hi):
+            if lo <= node < hi:
+                return p
+        return -1
+
+    remote = 0
+    total = 0
+    for i in range(app.n_half):
+        me = owner(i)
+        for d in app.e_deps[i]:
+            total += 1
+            if owner(int(d)) != me:
+                remote += 1
+    # 10% target with sampling noise (a local pick can also straddle).
+    assert 0.03 < remote / total < 0.25
+
+
+def test_em3d_rejects_odd_node_count():
+    with pytest.raises(ValueError):
+        Em3d(2, n_nodes=3)
+
+
+def test_em3d_reference_deterministic():
+    a = Em3d(2, n_nodes=128, iterations=2).reference_solution()
+    b = Em3d(2, n_nodes=128, iterations=2).reference_solution()
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+# -- Barnes -------------------------------------------------------------------------
+
+def test_barnes_reference_matches_two_runs():
+    a = Barnes(2, n_bodies=24, steps=1).reference_solution()
+    b = Barnes(2, n_bodies=24, steps=1).reference_solution()
+    assert np.array_equal(a, b)

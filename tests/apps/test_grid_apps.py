@@ -1,0 +1,76 @@
+"""Ocean / Em3d / Radix correctness through the full stack."""
+
+import pytest
+
+from repro.apps.em3d import Em3d
+from repro.apps.ocean import Ocean
+from repro.apps.radix import Radix
+from repro.harness.runner import ProtocolConfig, run_app
+
+
+def small_ocean(n):
+    return Ocean(n, grid=18, iterations=2)
+
+
+def small_em3d(n):
+    return Em3d(n, n_nodes=256, degree=3, iterations=2)
+
+
+def small_radix(n):
+    return Radix(n, n_keys=2048, radix_bits=6, key_bits=12)
+
+
+APPS = {"ocean": small_ocean, "em3d": small_em3d, "radix": small_radix}
+
+
+@pytest.mark.parametrize("app_name", list(APPS))
+@pytest.mark.parametrize("mode", ["Base", "I+D", "P"])
+def test_apps_verify_under_treadmarks(app_name, mode):
+    app = APPS[app_name](4)
+    result = run_app(app, ProtocolConfig.treadmarks(mode))
+    assert result.verified
+    assert result.execution_cycles > 0
+    assert result.n_procs == 4
+
+
+@pytest.mark.parametrize("app_name", list(APPS))
+def test_apps_verify_under_aurc(app_name):
+    app = APPS[app_name](4)
+    result = run_app(app, ProtocolConfig.aurc())
+    assert result.verified
+
+
+@pytest.mark.parametrize("app_name", list(APPS))
+def test_apps_verify_under_aurc_prefetch(app_name):
+    app = APPS[app_name](4)
+    result = run_app(app, ProtocolConfig.aurc(prefetch=True))
+    assert result.verified
+
+
+def test_single_processor_runs(app_name="ocean"):
+    app = APPS[app_name](1)
+    result = run_app(app, ProtocolConfig.treadmarks("Base"))
+    assert result.verified
+
+
+def test_parallel_run_speeds_up_em3d():
+    serial = run_app(Em3d(1, n_nodes=2048, degree=5, iterations=2),
+                     ProtocolConfig.treadmarks("Base"))
+    parallel = run_app(Em3d(4, n_nodes=2048, degree=5, iterations=2),
+                       ProtocolConfig.treadmarks("Base"))
+    speedup = serial.execution_cycles / parallel.execution_cycles
+    assert speedup > 1.2
+
+
+def test_breakdown_total_matches_execution_time():
+    result = run_app(small_ocean(4), ProtocolConfig.treadmarks("Base"))
+    for pid, breakdown in enumerate(result.breakdowns):
+        assert breakdown.total == pytest.approx(
+            result.finish_times[pid], rel=0.01)
+
+
+def test_run_result_reports_stats():
+    result = run_app(small_radix(4), ProtocolConfig.treadmarks("Base"))
+    assert result.protocol_stats.diffs_created > 0
+    assert result.network.messages > 0
+    assert result.diff_fraction() > 0

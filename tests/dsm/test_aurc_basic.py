@@ -1,0 +1,220 @@
+"""End-to-end AURC protocol behaviour on tiny workloads."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.aurc import HOME, PAIRWISE, SOLO
+from repro.stats.breakdown import Category
+
+
+def test_single_node_read_write(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=1)
+    base = rig.alloc("a", 8)
+    api = rig.apis[0]
+
+    def worker():
+        yield from api.write(base, [4.0, 5.0])
+        values = yield from api.read(base, 2)
+        return list(values)
+
+    results = rig.run_workers(worker())
+    assert results[0] == [4.0, 5.0]
+
+
+def test_two_sharers_form_pairwise(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=4)
+    base = rig.alloc("a", 8)
+
+    def writer(api):
+        yield from api.write(base, [1.0])
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+
+    def reader(api):
+        yield from api.barrier(0)
+        value = yield from api.read1(base)
+        yield from api.barrier(1)
+        return value
+
+    def bystander(api):
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+
+    results = rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]),
+                              bystander(rig.apis[2]),
+                              bystander(rig.apis[3]))
+    assert results[1] == 1.0
+    page = base // rig.params.words_per_page
+    assert rig.protocol.directory[page].mode == PAIRWISE
+    assert rig.protocol.stats.pairwise_formations == 1
+
+
+def test_pairwise_updates_flow_without_fetches(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=2)
+    base = rig.alloc("a", 8)
+
+    def w0(api):
+        for i in range(5):
+            yield from api.acquire(0)
+            yield from api.write(base, float(i + 1))
+            yield from api.release(0)
+        yield from api.barrier(0)
+
+    def w1(api):
+        yield from api.read1(base)  # joins sharing -> pairwise
+        last = 0.0
+        for _ in range(5):
+            yield from api.acquire(0)
+            last = yield from api.read1(base)
+            yield from api.release(0)
+        yield from api.barrier(0)
+        return last
+
+    rig.run_workers(w0(rig.apis[0]), w1(rig.apis[1]))
+    # After pairwise forms, reads never fetch: fetch count stays at the
+    # initial join.
+    assert rig.protocol.stats.fetches <= 2
+    assert rig.protocol.stats.local_waits >= 1
+
+
+def test_many_sharers_revert_to_home(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=4)
+    base = rig.alloc("a", 8)
+
+    def worker(api, pid):
+        yield from api.acquire(0)
+        value = yield from api.read1(base)
+        yield from api.write(base, value + 1)
+        yield from api.release(0)
+        yield from api.barrier(0)
+        yield from api.acquire(0)
+        final = yield from api.read1(base)
+        yield from api.release(0)
+        return final
+
+    results = rig.run_workers(*[worker(rig.apis[p], p) for p in range(4)])
+    assert all(r == 4.0 for r in results)
+    page = base // rig.params.words_per_page
+    assert rig.protocol.directory[page].mode == HOME
+    assert rig.protocol.stats.reverts_to_home >= 1
+
+
+def test_home_mode_write_through_and_fetch(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=4)
+    base = rig.alloc("a", 1024)
+
+    def worker(api, pid):
+        # Everyone writes its own quarter; everyone reads everything.
+        lo = pid * 256
+        yield from api.write(base + lo, np.full(256, float(pid + 1)))
+        yield from api.barrier(0)
+        values = yield from api.read(base, 1024)
+        yield from api.barrier(1)
+        return [float(values[i * 256]) for i in range(4)]
+
+    results = rig.run_workers(*[worker(rig.apis[p], p) for p in range(4)])
+    for r in results:
+        assert r == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_update_traffic_flows_through_au_engine(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=2)
+    base = rig.alloc("a", 512)
+
+    def w0(api):
+        yield from api.read(base, 1)
+        yield from api.barrier(0)
+        yield from api.write(base, np.ones(512))
+        yield from api.barrier(1)
+
+    def w1(api):
+        yield from api.read(base, 1)  # second sharer -> pairwise
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+        values = yield from api.read(base, 512)
+        return float(values.sum())
+
+    results = rig.run_workers(w0(rig.apis[0]), w1(rig.apis[1]))
+    assert results[1] == 512.0
+    engine = rig.cluster[0].nic.au_engine
+    assert engine.updates_issued >= 1
+    assert rig.protocol.total_update_traffic_bytes() > 0
+
+
+def test_causal_chain_aurc(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=3)
+    a = rig.alloc("a", 1)
+    b = rig.alloc("b", 1)
+
+    def w0(api):
+        yield from api.acquire(0)
+        yield from api.write(a, 41.0)
+        yield from api.release(0)
+        yield from api.barrier(9)
+
+    def w1(api):
+        yield from api.compute(300_000)
+        yield from api.acquire(0)
+        value = yield from api.read1(a)
+        yield from api.release(0)
+        yield from api.acquire(1)
+        yield from api.write(b, value + 1)
+        yield from api.release(1)
+        yield from api.barrier(9)
+
+    def w2(api):
+        yield from api.compute(900_000)
+        yield from api.acquire(1)
+        b_val = yield from api.read1(b)
+        a_val = yield from api.read1(a)
+        yield from api.release(1)
+        yield from api.barrier(9)
+        return (a_val, b_val)
+
+    results = rig.run_workers(w0(rig.apis[0]), w1(rig.apis[1]),
+                              w2(rig.apis[2]))
+    assert results[2] == (41.0, 42.0)
+
+
+def test_aurc_prefetch_installs_pages(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=4, prefetch=True)
+    base = rig.alloc("a", 4096)  # 4 pages
+
+    def writer(api, pid):
+        for it in range(3):
+            lo = pid * 1024
+            yield from api.write(base + lo,
+                                 np.full(1024, float(it * 4 + pid)))
+            yield from api.barrier(it)
+            # Read every other page each iteration: 4 sharers per page
+            # forces HOME mode, so the pages are re-invalidated every
+            # round and become prefetch candidates.
+            for other in range(4):
+                if other != pid:
+                    yield from api.read(base + other * 1024, 1024)
+            yield from api.barrier(10 + it)
+
+    results = rig.run_workers(*[writer(rig.apis[p], p) for p in range(4)])
+    stats = rig.protocol.stats.prefetch
+    assert stats.issued > 0
+    assert stats.useful + stats.useless + stats.late > 0
+
+
+def test_aurc_has_no_controller(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=2)
+    assert rig.cluster[0].controller is None
+
+
+def test_aurc_ipc_charged_at_home_for_fetches(make_rig):
+    rig = make_rig(protocol_kind="aurc", n=4)
+    base = rig.alloc("a", 1024)  # page 0, home = node 0
+
+    def toucher(api, pid):
+        yield from api.write(base + pid, float(pid))
+        yield from api.barrier(0)
+        yield from api.read(base, 8)
+        yield from api.barrier(1)
+        yield from api.compute(100_000)
+
+    rig.run_workers(*[toucher(rig.apis[p], p) for p in range(4)])
+    assert rig.cluster[0].breakdown.get(Category.IPC) > 0

@@ -1,0 +1,87 @@
+"""Regression test: diff replies must stay within the requester's notices.
+
+The bug this pins down: a writer answering a diff request used to ship
+*every* diff newer than the requester's applied watermark -- including
+intervals the requester had no write notices for.  The requester's
+applied set then stopped being happens-before-closed, and a later fault
+could apply an hb-older diff from another writer *after* the fresher
+data, rolling words backwards.  The canonical trigger is Water's
+lock-striped accumulation (many writers RMW-ing the same page under
+per-stripe locks); this test distills that pattern.
+"""
+
+import numpy as np
+import pytest
+
+
+def test_striped_accumulation_never_loses_contributions(make_rig):
+    """Every processor adds 1 to every stripe of one page, each stripe
+    under its own lock.  Any lost or rolled-back contribution makes the
+    final sums wrong."""
+    n = 4
+    rig = make_rig(n=n)
+    stripes = n
+    words_per_stripe = 8
+    base = rig.alloc("acc", stripes * words_per_stripe)
+
+    def worker(api, pid):
+        # Stagger compute so lock chains interleave across stripes.
+        yield from api.compute(3000 * (pid + 1))
+        for k in range(stripes):
+            stripe = (pid + k) % stripes
+            addr = base + stripe * words_per_stripe
+            yield from api.acquire(stripe)
+            chunk = yield from api.read(addr, words_per_stripe)
+            yield from api.compute(7000 * ((pid * stripes + k) % 5 + 1))
+            yield from api.write(addr, chunk + 1.0)
+            yield from api.release(stripe)
+        yield from api.barrier(0)
+        total = yield from api.read(base, stripes * words_per_stripe)
+        yield from api.barrier(1)
+        return float(total.sum())
+
+    results = rig.run_workers(*[worker(rig.apis[p], p) for p in range(n)])
+    expected = float(n * stripes * words_per_stripe)
+    assert all(r == expected for r in results), results
+
+
+def test_diff_reply_bounded_by_notices(make_rig):
+    """A reply must not cover intervals beyond the request's through_id."""
+    from repro.dsm.protocol import DiffRequest
+
+    rig = make_rig(n=2)
+    base = rig.alloc("p", 16)
+    served = []
+    protocol = rig.protocol
+    original = protocol._serve_diff_request
+
+    def spy(node, msg):
+        result = yield from original(node, msg)
+        tp = protocol.states[node.node_id].pages.get(
+            base // rig.params.words_per_page)
+        if tp is not None:
+            sent = [d for d in tp.diff_store if d.to_id > msg.after_id]
+            served.append((msg.after_id, msg.through_id,
+                           max((d.to_id for d in sent
+                                if d.to_id <= msg.through_id), default=0)))
+        return result
+
+    protocol._serve_diff_request = spy
+
+    def writer(api):
+        for it in range(4):
+            yield from api.acquire(0)
+            yield from api.write(base, float(it))
+            yield from api.release(0)
+            yield from api.barrier(it)
+
+    def reader(api):
+        for it in range(4):
+            yield from api.barrier(it)
+            yield from api.read1(base)
+
+    rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+    assert served
+    for after_id, through_id, max_sent in served:
+        assert max_sent <= through_id
+        assert after_id <= through_id

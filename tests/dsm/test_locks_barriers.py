@@ -1,0 +1,170 @@
+"""Direct unit tests of the lock and barrier services."""
+
+import pytest
+
+from repro.stats.breakdown import Category
+
+
+def test_lock_mutual_exclusion(make_rig):
+    rig = make_rig(n=4)
+    in_cs = [0]
+    max_in_cs = [0]
+
+    def worker(api):
+        for _ in range(4):
+            yield from api.acquire(7)
+            in_cs[0] += 1
+            max_in_cs[0] = max(max_in_cs[0], in_cs[0])
+            yield from api.compute(5000)
+            in_cs[0] -= 1
+            yield from api.release(7)
+            yield from api.compute(1000)
+
+    rig.run_workers(*[worker(rig.apis[p]) for p in range(4)])
+    assert max_in_cs[0] == 1
+    assert rig.protocol.locks.stats.acquires == 16
+
+
+def test_lock_cached_ownership_fast_path(make_rig):
+    rig = make_rig(n=2)
+
+    def repeat_acquirer(api):
+        for _ in range(5):
+            yield from api.acquire(3)
+            yield from api.release(3)
+
+    def idle(api):
+        yield from api.compute(1)
+
+    rig.run_workers(repeat_acquirer(rig.apis[0]), idle(rig.apis[1]))
+    stats = rig.protocol.locks.stats
+    # Only the first acquire needs the manager; the rest are local.
+    assert stats.local_reacquires == 4
+    assert stats.grants_sent == 1
+
+
+def test_lock_chain_forwarding(make_rig):
+    rig = make_rig(n=4)
+    order = []
+
+    def worker(api, pid):
+        yield from api.compute(1000 * (pid + 1))
+        yield from api.acquire(0)
+        order.append(pid)
+        yield from api.compute(20_000)
+        yield from api.release(0)
+
+    rig.run_workers(*[worker(rig.apis[p], p) for p in range(4)])
+    assert sorted(order) == [0, 1, 2, 3]
+    assert rig.protocol.locks.stats.forwards >= 1
+
+
+def test_double_acquire_raises(make_rig):
+    rig = make_rig(n=1)
+
+    def worker(api):
+        yield from api.acquire(0)
+        yield from api.acquire(0)
+
+    with pytest.raises(RuntimeError, match="re-acquiring"):
+        rig.run_workers(worker(rig.apis[0]))
+
+
+def test_release_unheld_raises(make_rig):
+    rig = make_rig(n=1)
+
+    def worker(api):
+        yield from api.release(0)
+
+    with pytest.raises(RuntimeError, match="unheld"):
+        rig.run_workers(worker(rig.apis[0]))
+
+
+def test_holder_count_invariant(make_rig):
+    rig = make_rig(n=3)
+    samples = []
+
+    def worker(api, pid):
+        for _ in range(3):
+            yield from api.acquire(1)
+            samples.append(rig.protocol.locks.holder_count(1))
+            yield from api.release(1)
+
+    rig.run_workers(*[worker(rig.apis[p], p) for p in range(3)])
+    assert samples and all(s == 1 for s in samples)
+
+
+def test_barrier_rendezvous_blocks_until_all(make_rig):
+    rig = make_rig(n=4)
+    passed = []
+
+    def worker(api, pid):
+        yield from api.compute(1000 * (pid + 1))
+        yield from api.barrier(5)
+        passed.append((pid, rig.sim.now))
+
+    rig.run_workers(*[worker(rig.apis[p], p) for p in range(4)])
+    # Everyone passes at (nearly) the same time, after the slowest.
+    times = [t for _p, t in passed]
+    assert min(times) >= 4000
+    assert rig.protocol.barriers.stats.episodes == 1
+    assert rig.protocol.barriers.stats.arrivals == 4
+
+
+def test_barrier_repeated_epochs(make_rig):
+    rig = make_rig(n=2)
+
+    def worker(api):
+        for it in range(5):
+            yield from api.barrier(9)
+            yield from api.compute(100)
+
+    rig.run_workers(worker(rig.apis[0]), worker(rig.apis[1]))
+    assert rig.protocol.barriers.stats.episodes == 5
+
+
+def test_barrier_wait_charges_sync(make_rig):
+    rig = make_rig(n=2)
+
+    def fast(api):
+        yield from api.barrier(0)
+
+    def slow(api):
+        yield from api.compute(500_000)
+        yield from api.barrier(0)
+
+    rig.run_workers(fast(rig.apis[0]), slow(rig.apis[1]))
+    assert rig.cluster[0].breakdown.get(Category.SYNC) >= 450_000
+
+
+def test_lock_grant_carries_transitive_knowledge(make_rig):
+    """w2's acquire must learn of w0's interval through w1 (transitivity
+    of the grant payload)."""
+    rig = make_rig(n=3)
+    base = rig.alloc("x", 1)
+
+    def w0(api):
+        yield from api.acquire(0)
+        yield from api.write(base, 1.0)
+        yield from api.release(0)
+        yield from api.barrier(9)
+
+    def w1(api):
+        yield from api.compute(200_000)
+        yield from api.acquire(0)
+        yield from api.release(0)
+        yield from api.acquire(1)
+        yield from api.release(1)
+        yield from api.barrier(9)
+
+    def w2(api):
+        yield from api.compute(500_000)
+        yield from api.acquire(1)
+        value = yield from api.read1(base)
+        yield from api.release(1)
+        yield from api.barrier(9)
+        return value
+
+    results = rig.run_workers(w0(rig.apis[0]), w1(rig.apis[1]),
+                              w2(rig.apis[2]))
+    assert results[2] == 1.0

@@ -1,0 +1,281 @@
+"""End-to-end TreadMarks protocol behaviour on tiny workloads."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.overlap import ALL_MODES
+from repro.stats.breakdown import Category
+
+MODE_NAMES = [m.name for m in ALL_MODES]
+
+
+def test_single_node_read_write(make_rig):
+    rig = make_rig(n=1)
+    base = rig.alloc("a", 16)
+    api = rig.apis[0]
+
+    def worker():
+        yield from api.write(base, [1.0, 2.0, 3.0])
+        values = yield from api.read(base, 3)
+        return list(values)
+
+    results = rig.run_workers(worker())
+    assert results[0] == [1.0, 2.0, 3.0]
+
+
+def test_write_then_barrier_then_remote_read(make_rig):
+    rig = make_rig(n=2)
+    base = rig.alloc("a", 8)
+
+    def writer(api):
+        yield from api.write(base, [7.0, 8.0])
+        yield from api.barrier(0)
+
+    def reader(api):
+        yield from api.barrier(0)
+        values = yield from api.read(base, 2)
+        return list(values)
+
+    results = rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+    assert results[1] == [7.0, 8.0]
+
+
+def test_lock_transfers_modifications(make_rig):
+    rig = make_rig(n=2)
+    base = rig.alloc("x", 1)
+
+    def incrementer(api, reps):
+        total = None
+        for _ in range(reps):
+            yield from api.acquire(0)
+            value = yield from api.read1(base)
+            yield from api.write(base, value + 1)
+            yield from api.release(0)
+        yield from api.barrier(0)
+        yield from api.acquire(0)
+        total = yield from api.read1(base)
+        yield from api.release(0)
+        return total
+
+    results = rig.run_workers(incrementer(rig.apis[0], 5),
+                              incrementer(rig.apis[1], 5))
+    assert results[0] == 10.0
+    assert results[1] == 10.0
+
+
+def test_concurrent_writers_different_words_same_page(make_rig):
+    """The multiple-writer property: both halves survive the barrier."""
+    rig = make_rig(n=2)
+    base = rig.alloc("page", 1024)
+
+    def worker(api, pid):
+        lo = pid * 512
+        yield from api.write(base + lo, np.full(512, float(pid + 1)))
+        yield from api.barrier(0)
+        values = yield from api.read(base, 1024)
+        return (values[:512].tolist(), values[512:].tolist())
+
+    r = rig.run_workers(worker(rig.apis[0], 0), worker(rig.apis[1], 1))
+    for pid in (0, 1):
+        first, second = r[pid]
+        assert set(first) == {1.0}
+        assert set(second) == {2.0}
+
+
+def test_causal_chain_through_different_locks(make_rig):
+    """w0 -L0-> w1 -L1-> w2: w2 must see w0's write (transitivity)."""
+    rig = make_rig(n=3)
+    a = rig.alloc("a", 1)
+    b = rig.alloc("b", 1)
+
+    def w0(api):
+        yield from api.acquire(0)
+        yield from api.write(a, 41.0)
+        yield from api.release(0)
+        yield from api.barrier(9)
+
+    def w1(api):
+        yield from api.compute(200_000)  # let w0 go first
+        yield from api.acquire(0)
+        value = yield from api.read1(a)
+        yield from api.release(0)
+        yield from api.acquire(1)
+        yield from api.write(b, value + 1)
+        yield from api.release(1)
+        yield from api.barrier(9)
+
+    def w2(api):
+        yield from api.compute(600_000)
+        yield from api.acquire(1)
+        b_val = yield from api.read1(b)
+        a_val = yield from api.read1(a)
+        yield from api.release(1)
+        yield from api.barrier(9)
+        return (a_val, b_val)
+
+    results = rig.run_workers(w0(rig.apis[0]), w1(rig.apis[1]),
+                              w2(rig.apis[2]))
+    assert results[2] == (41.0, 42.0)
+
+
+@pytest.mark.parametrize("mode", MODE_NAMES)
+def test_all_modes_produce_same_result(make_rig, mode):
+    rig = make_rig(mode=mode, n=4)
+    base = rig.alloc("data", 4096)
+
+    def worker(api, pid):
+        lo, hi = pid * 1024, (pid + 1) * 1024
+        yield from api.write(base + lo, np.arange(lo, hi, dtype=float))
+        yield from api.barrier(0)
+        # Everyone reads everyone's quarter.
+        total = 0.0
+        for other in range(4):
+            values = yield from api.read(base + other * 1024, 1024)
+            total += float(values.sum())
+        yield from api.barrier(1)
+        return total
+
+    results = rig.run_workers(*[worker(rig.apis[p], p) for p in range(4)])
+    expected = float(np.arange(4096, dtype=float).sum())
+    assert all(r == expected for r in results)
+
+
+@pytest.mark.parametrize("mode", MODE_NAMES)
+def test_mode_statistics_sanity(make_rig, mode):
+    rig = make_rig(mode=mode, n=2)
+    base = rig.alloc("data", 1024)
+
+    def writer(api):
+        yield from api.read(base, 256)   # both cache the page first
+        yield from api.barrier(0)
+        yield from api.write(base, np.ones(256))
+        yield from api.barrier(1)
+        yield from api.barrier(2)
+
+    def reader(api):
+        yield from api.read(base, 256)
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+        yield from api.read(base, 256)   # now needs the writer's diff
+        yield from api.barrier(2)
+
+    rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+    stats = rig.protocol.stats
+    mode_obj = rig.protocol.mode
+    assert stats.diffs_created >= 1
+    assert stats.diff_words_created >= 256
+    if mode_obj.uses_twins:
+        assert stats.twins_created >= 1
+    else:
+        assert stats.twins_created == 0
+    if mode_obj.uses_controller:
+        assert sum(rig.protocol.controller_diff_cycles) > 0
+
+
+def test_busy_time_charged(make_rig):
+    rig = make_rig(n=1)
+    api = rig.apis[0]
+
+    def worker():
+        yield from api.compute(12345)
+
+    rig.run_workers(worker())
+    assert rig.cluster[0].breakdown.get(Category.BUSY) == 12345
+
+
+def test_sync_time_charged_for_barrier_wait(make_rig):
+    rig = make_rig(n=2)
+
+    def fast(api):
+        yield from api.barrier(0)
+
+    def slow(api):
+        yield from api.compute(100_000)
+        yield from api.barrier(0)
+
+    rig.run_workers(fast(rig.apis[0]), slow(rig.apis[1]))
+    assert rig.cluster[0].breakdown.get(Category.SYNC) >= 90_000
+
+
+def test_data_time_charged_for_faults(make_rig):
+    rig = make_rig(n=2)
+    base = rig.alloc("data", 1024)
+
+    def writer(api):
+        yield from api.write(base, np.ones(1024))
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+
+    def reader(api):
+        yield from api.barrier(0)
+        yield from api.read(base, 1024)
+        yield from api.barrier(1)
+
+    rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+    assert rig.cluster[1].breakdown.get(Category.DATA) > 0
+
+
+def test_ipc_charged_on_serving_node_in_base_mode(make_rig):
+    rig = make_rig(mode="Base", n=2)
+    base = rig.alloc("data", 1024)
+
+    def writer(api):
+        yield from api.write(base, np.ones(1024))
+        yield from api.barrier(0)
+        yield from api.compute(2_000_000)  # stay busy while serving diffs
+        yield from api.barrier(1)
+
+    def reader(api):
+        yield from api.barrier(0)
+        yield from api.read(base, 1024)
+        yield from api.barrier(1)
+
+    rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+    assert rig.cluster[0].breakdown.get(Category.IPC) > 0
+
+
+def test_offload_moves_diff_service_off_processor(make_rig):
+    """In I+D the writer's processor IPC share should be far below Base."""
+    def run(mode):
+        rig = make_rig(mode=mode, n=2)
+        base = rig.alloc("data", 8192)
+
+        def writer(api):
+            yield from api.write(base, np.ones(8192))
+            yield from api.barrier(0)
+            yield from api.compute(3_000_000)
+            yield from api.barrier(1)
+
+        def reader(api):
+            yield from api.barrier(0)
+            yield from api.read(base, 8192)
+            yield from api.barrier(1)
+
+        rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]))
+        return rig.cluster[0].breakdown.get(Category.IPC)
+
+    assert run("I+D") < run("Base")
+
+
+def test_diff_request_stats_count(make_rig):
+    rig = make_rig(n=3)
+    base = rig.alloc("data", 1024)
+
+    def writer(api):
+        yield from api.read(base, 100)
+        yield from api.barrier(0)
+        yield from api.write(base, np.ones(100))
+        yield from api.barrier(1)
+        yield from api.barrier(2)
+
+    def reader(api):
+        yield from api.read(base, 100)
+        yield from api.barrier(0)
+        yield from api.barrier(1)
+        yield from api.read(base, 100)
+        yield from api.barrier(2)
+
+    rig.run_workers(writer(rig.apis[0]), reader(rig.apis[1]),
+                    reader(rig.apis[2]))
+    assert rig.protocol.stats.diff_requests >= 2
+    assert rig.protocol.stats.read_faults >= 2

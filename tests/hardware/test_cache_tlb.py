@@ -1,0 +1,138 @@
+"""Cache, write-buffer, and TLB model tests."""
+
+import pytest
+
+from repro.hardware.cache import DirectMappedCache, WriteBuffer
+from repro.hardware.params import MachineParams
+from repro.hardware.tlb import Tlb
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+# -- cache ------------------------------------------------------------------
+
+def test_cold_access_misses_then_hits(params):
+    cache = DirectMappedCache(params)
+    first = cache.access_range(0, 8)
+    assert (first.hits, first.misses) == (0, 1)
+    again = cache.access_range(0, 8)
+    assert (again.hits, again.misses) == (1, 0)
+    assert again.fill_cycles == 0
+
+
+def test_range_spans_multiple_lines(params):
+    cache = DirectMappedCache(params)
+    res = cache.access_range(0, 64)  # 64 words = 8 lines of 8 words
+    assert res.misses == 8
+    assert res.hits == 0
+    res2 = cache.access_range(4, 32)  # straddles lines 0..4
+    assert res2.hits == 5
+    assert res2.misses == 0
+
+
+def test_fill_cycles_model(params):
+    cache = DirectMappedCache(params)
+    res = cache.access_range(0, 16)  # two lines miss
+    expected = 2 * (10 + 8 * 3)  # per-miss setup + line stream
+    assert res.fill_cycles == expected
+
+
+def test_conflict_eviction(params):
+    cache = DirectMappedCache(params)
+    cache.access_range(0, 8)
+    # Same index, different tag: cache_lines * words_per_line words away.
+    conflict_addr = params.cache_lines * params.words_per_line
+    cache.access_range(conflict_addr, 8)
+    res = cache.access_range(0, 8)
+    assert res.misses == 1  # original line was evicted
+
+
+def test_invalidate_range(params):
+    cache = DirectMappedCache(params)
+    cache.access_range(0, 1024)
+    dropped = cache.invalidate_range(0, 1024)
+    assert dropped == 128  # 4KB page = 128 lines
+    res = cache.access_range(0, 8)
+    assert res.misses == 1
+
+
+def test_invalidate_only_matching_tags(params):
+    cache = DirectMappedCache(params)
+    cache.access_range(0, 8)
+    dropped = cache.invalidate_range(params.cache_lines * 8, 8)
+    assert dropped == 0
+    assert cache.access_range(0, 8).hits == 1
+
+
+def test_zero_word_access(params):
+    cache = DirectMappedCache(params)
+    res = cache.access_range(0, 0)
+    assert (res.hits, res.misses, res.fill_cycles) == (0, 0, 0.0)
+
+
+def test_miss_rate_statistics(params):
+    cache = DirectMappedCache(params)
+    cache.access_range(0, 8)
+    cache.access_range(0, 8)
+    assert cache.miss_rate() == pytest.approx(0.5)
+    cache.flush()
+    assert cache.access_range(0, 8).misses == 1
+
+
+# -- write buffer ----------------------------------------------------------------
+
+def test_small_burst_absorbed(params):
+    wb = WriteBuffer(params)
+    assert wb.write_burst(4) == 0.0
+
+
+def test_long_burst_stalls(params):
+    wb = WriteBuffer(params)
+    stall = wb.write_burst(100)
+    # (100 - 4) words * (3 - 1) cycles behind
+    assert stall == pytest.approx(96 * 2)
+    assert wb.stall_cycles_total == stall
+    assert wb.words_written == 100
+
+
+def test_zero_write_burst(params):
+    wb = WriteBuffer(params)
+    assert wb.write_burst(0) == 0.0
+
+
+# -- TLB ------------------------------------------------------------------------
+
+def test_tlb_hit_after_fill(params):
+    tlb = Tlb(params)
+    assert tlb.touch(5) is False
+    assert tlb.touch(5) is True
+    assert tlb.misses == 1
+    assert tlb.hits == 1
+
+
+def test_tlb_lru_eviction(params):
+    tlb = Tlb(params)
+    for page in range(params.tlb_entries):
+        tlb.touch(page)
+    tlb.touch(0)  # refresh page 0
+    tlb.touch(9999)  # evicts page 1 (LRU)
+    assert tlb.touch(0) is True
+    assert tlb.touch(1) is False
+
+
+def test_tlb_invalidate(params):
+    tlb = Tlb(params)
+    tlb.touch(7)
+    tlb.invalidate(7)
+    assert tlb.touch(7) is False
+
+
+def test_tlb_miss_rate(params):
+    tlb = Tlb(params)
+    tlb.touch(1)
+    tlb.touch(1)
+    tlb.touch(2)
+    assert tlb.miss_rate() == pytest.approx(2 / 3)

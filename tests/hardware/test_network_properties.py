@@ -1,0 +1,92 @@
+"""Property-based tests for mesh routing and timestamp algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm.timestamps import IntervalLog, IntervalRecord, VectorClock
+from repro.hardware.network import MeshNetwork
+from repro.hardware.params import MachineParams
+from repro.sim import Simulator
+
+_PROC_COUNTS = [1, 2, 3, 4, 6, 8, 9, 12, 15, 16, 25]
+
+
+@given(n=st.sampled_from(_PROC_COUNTS),
+       src=st.integers(0, 24), dst=st.integers(0, 24))
+@settings(max_examples=60, deadline=None)
+def test_routes_reach_destination_in_hops_steps(n, src, dst):
+    src, dst = src % n, dst % n
+    net = MeshNetwork(Simulator(), MachineParams(n_processors=n))
+    route = net.route(src, dst)
+    assert len(route) == net.hops(src, dst)
+    here = src
+    for a, b in route:
+        assert a == here
+        assert b in range(n)
+        assert (a, b) in net._links
+        here = b
+    assert here == dst
+
+
+@given(n=st.sampled_from(_PROC_COUNTS), src=st.integers(0, 24),
+       dst=st.integers(0, 24), nbytes=st.integers(1, 8192))
+@settings(max_examples=40, deadline=None)
+def test_uncontended_cycles_monotone_in_size(n, src, dst, nbytes):
+    src, dst = src % n, dst % n
+    net = MeshNetwork(Simulator(), MachineParams(n_processors=n))
+    small = net.uncontended_cycles(src, dst, nbytes)
+    bigger = net.uncontended_cycles(src, dst, nbytes + 64)
+    assert bigger >= small
+
+
+@given(n=st.sampled_from(_PROC_COUNTS))
+@settings(max_examples=20, deadline=None)
+def test_mesh_is_strongly_connected(n):
+    net = MeshNetwork(Simulator(), MachineParams(n_processors=n))
+    for src in range(n):
+        for dst in range(n):
+            route = net.route(src, dst)
+            assert (len(route) == 0) == (src == dst)
+
+
+# -- vector clocks -----------------------------------------------------------
+
+vectors = st.lists(st.integers(0, 50), min_size=3, max_size=3)
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_least_upper_bound(a, b):
+    va, vb = VectorClock(values=a), VectorClock(values=b)
+    merged = va.copy()
+    merged.merge(vb)
+    assert merged.dominates(va)
+    assert merged.dominates(vb)
+    assert merged.as_tuple() == tuple(max(x, y) for x, y in zip(a, b))
+
+
+@given(a=vectors, b=vectors, c=vectors)
+@settings(max_examples=40, deadline=None)
+def test_dominance_is_transitive(a, b, c):
+    va, vb, vc = (VectorClock(values=v) for v in (a, b, c))
+    if va.dominates(vb) and vb.dominates(vc):
+        assert va.dominates(vc)
+
+
+@given(records=st.lists(
+    st.tuples(st.integers(0, 2), st.integers(1, 20)),
+    min_size=0, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_interval_log_records_behind_complement(records):
+    """records_behind(vc) returns exactly the records not covered by vc."""
+    log = IntervalLog(3)
+    inserted = set()
+    for writer, iid in records:
+        log.add(IntervalRecord(writer=writer, interval_id=iid,
+                               pages=(0,)))
+        inserted.add((writer, iid))
+    clock = VectorClock(values=[5, 10, 0])
+    behind = {(r.writer, r.interval_id)
+              for r in log.records_behind(clock)}
+    expected = {(w, i) for w, i in inserted if i > clock[w]}
+    assert behind == expected

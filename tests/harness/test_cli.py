@@ -1,0 +1,47 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "TSP" in out and "I+P+D" in out and "aurc" in out
+
+
+def test_run_command_quick(capsys):
+    code = main(["run", "Ocean", "--protocol", "Base", "--procs", "4",
+                 "--quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Ocean under TM/Base" in out
+    assert "result verified" in out
+
+
+def test_run_aurc_no_verify(capsys):
+    code = main(["run", "Em3d", "--protocol", "aurc", "--procs", "2",
+                 "--quick", "--no-verify"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Em3d under AURC" in out
+    assert "result verified" not in out
+
+
+def test_figure_command_quick(capsys):
+    code = main(["figure", "2", "--quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+
+
+def test_figure_overlap_with_app(capsys):
+    code = main(["figure", "5", "--app", "Ocean", "--quick"])
+    assert code == 0
+    assert "Ocean" in capsys.readouterr().out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "Nope"])

@@ -1,0 +1,96 @@
+"""Experiment functions and figure renderers (quick sizes)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    APP_ORDER,
+    MODE_ORDER,
+    fig1_speedups,
+    fig2_breakdown,
+    fig11_12_protocol_comparison,
+    fig13_messaging_overhead,
+    fig_overlap_modes,
+    scaled_app,
+)
+from repro.harness.figures import (
+    PAPER_REFERENCE,
+    render_breakdown,
+    render_overlap,
+    render_protocol_comparison,
+    render_speedups,
+    render_sweep,
+)
+
+
+def test_scaled_app_quick_and_full_sizes():
+    quick = scaled_app("Em3d", 4, quick=True)
+    full = scaled_app("Em3d", 4, quick=False)
+    assert quick.n_half < full.n_half
+    assert quick.nprocs == full.nprocs == 4
+
+
+def test_fig1_structure():
+    data = fig1_speedups(apps=("Ocean",), proc_counts=(1, 2),
+                         quick=True)
+    assert data["Ocean"][1] == 1.0
+    assert data["Ocean"][2] > 0
+
+
+def test_fig2_structure():
+    data = fig2_breakdown(apps=("Ocean",), nprocs=2, quick=True)
+    row = data["Ocean"]
+    assert set(row) == {"busy", "data", "synch", "ipc", "others",
+                        "diff_pct"}
+    fractions = sum(v for k, v in row.items() if k != "diff_pct")
+    assert fractions == pytest.approx(1.0, abs=0.01)
+
+
+def test_overlap_structure():
+    data = fig_overlap_modes("Ocean", nprocs=2, modes=("Base", "I+D"),
+                             quick=True)
+    assert data["Base"]["normalized_pct"] == pytest.approx(100.0)
+    assert "cycles" in data["I+D"]
+
+
+def test_protocol_comparison_structure():
+    data = fig11_12_protocol_comparison(apps=("Ocean",), nprocs=2,
+                                        quick=True)
+    rows = data["Ocean"]
+    assert rows["TM/I+D"]["normalized_pct"] == pytest.approx(100.0)
+    assert set(rows) == {"TM/I+D", "AURC", "AURC+P"}
+
+
+def test_sweep_structure():
+    data = fig13_messaging_overhead(nprocs=2, microseconds=(2.0,),
+                                    quick=True)
+    assert set(data) == {"TM/I+D", "AURC"}
+    assert 2.0 in data["AURC"]
+
+
+def test_renderers_produce_rows():
+    speed = render_speedups({"TSP": {1: 1.0, 16: 9.0}})
+    assert "TSP" in speed and "9.00" in speed
+    breakdown = render_breakdown(
+        {"TSP": {"busy": 0.8, "data": 0.1, "synch": 0.05, "ipc": 0.02,
+                 "others": 0.03, "diff_pct": 1.5}})
+    assert "80.0" in breakdown
+    overlap = render_overlap("TSP", {
+        "Base": {"busy": 0.8, "data": 0.1, "synch": 0.05, "ipc": 0.02,
+                 "others": 0.03, "normalized_pct": 100.0, "cycles": 1.0,
+                 "diff_pct": 1.0, "prefetches": 0,
+                 "useless_pf_pct": 0.0}})
+    assert "100.0" in overlap
+    comparison = render_protocol_comparison(
+        {"TSP": {"TM/I+D": {"normalized_pct": 100.0},
+                 "AURC": {"normalized_pct": 120.0},
+                 "AURC+P": {"normalized_pct": 150.0}}})
+    assert "120.0" in comparison
+    sweep = render_sweep("t", "x", {"TM/I+D": {10: 1.0}, "AURC": {10: 2.0}})
+    assert "2.000" in sweep
+
+
+def test_paper_reference_covers_all_apps():
+    for key in ("fig1_speedup16", "fig2_diff_pct",
+                "overlap_normalized_pct", "protocol_normalized_pct"):
+        assert set(PAPER_REFERENCE[key]) == set(APP_ORDER)
+    assert MODE_ORDER[0] == "Base"

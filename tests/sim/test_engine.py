@@ -1,0 +1,381 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+        yield sim.timeout(5)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == 15
+    assert p.value == 15
+
+
+def test_zero_delay_timeout_fires_same_time():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        yield sim.timeout(0)
+        trace.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert trace == [0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        value = yield sim.timeout(3, value="payload")
+        results.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert results == ["payload"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield sim.timeout(10)
+            order.append(tag)
+        return proc
+
+    for tag in ("a", "b", "c"):
+        sim.process(make(tag)())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_for_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(7)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 43
+    assert sim.now == 7
+
+
+def test_wait_on_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        return "done"
+
+    def parent(cp):
+        yield sim.timeout(10)
+        value = yield cp  # already finished at t=1
+        return (value, sim.now)
+
+    cp = sim.process(child())
+    p = sim.process(parent(cp))
+    sim.run()
+    assert p.value == ("done", 10)
+
+
+def test_event_succeed_wakes_waiters():
+    sim = Simulator()
+    gate = sim.event()
+    woke = []
+
+    def waiter(tag):
+        value = yield gate
+        woke.append((tag, value, sim.now))
+
+    def opener():
+        yield sim.timeout(5)
+        gate.succeed("open")
+
+    sim.process(waiter("w1"))
+    sim.process(waiter("w2"))
+    sim.process(opener())
+    sim.run()
+    assert woke == [("w1", "open", 5), ("w2", "open", 5)]
+
+
+def test_event_double_succeed_raises():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed()
+    with pytest.raises(RuntimeError):
+        gate.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(waiter())
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    gate = sim.event()
+    with pytest.raises(TypeError):
+        gate.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_uncaught_process_exception_propagates_in_strict_mode():
+    sim = Simulator(strict=True)
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run()
+
+
+def test_nonstrict_mode_records_failure_on_process_event():
+    sim = Simulator(strict=False)
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    p = sim.process(bad())
+    sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 17
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_run_until_time_pauses_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=40)
+    assert sim.now == 40
+    sim.run()
+    assert sim.now == 100
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(12)
+        return "answer"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "answer"
+    assert sim.now == 12
+
+
+def test_run_until_event_that_never_fires_raises():
+    sim = Simulator()
+    gate = sim.event()
+
+    def proc():
+        yield sim.timeout(1)
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        sim.run(until=gate)
+
+
+def test_run_until_in_the_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        t_fast = sim.timeout(3, value="fast")
+        t_slow = sim.timeout(9, value="slow")
+        result = yield AnyOf(sim, [t_fast, t_slow])
+        return (sim.now, t_fast in result, t_slow in result)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert p.value == (3, True, False)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        events = [sim.timeout(d, value=d) for d in (4, 1, 6)]
+        result = yield AllOf(sim, events)
+        return (sim.now, [result[e] for e in events])
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert p.value == (6, [4, 1, 6])
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield AllOf(sim, [])
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 0
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+        yield sim.timeout(5)
+        return sim.now
+
+    def attacker(vp):
+        yield sim.timeout(10)
+        vp.interrupt(cause="wake up")
+
+    vp = sim.process(victim())
+    sim.process(attacker(vp))
+    sim.run()
+    assert log == [(10, "wake up")]
+    assert vp.value == 15
+
+
+def test_interrupt_detaches_from_waited_event():
+    sim = Simulator()
+    gate = sim.event()
+    resumed = []
+
+    def victim():
+        try:
+            yield gate
+            resumed.append("gate")
+        except Interrupt:
+            resumed.append("interrupt")
+        yield sim.timeout(1)
+
+    vp = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(2)
+        vp.interrupt()
+        yield sim.timeout(2)
+        gate.succeed()
+
+    sim.process(attacker())
+    sim.run()
+    # Only the interrupt resumed the victim; the later gate firing must not.
+    assert resumed == ["interrupt"]
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    sim = Simulator()
+
+    def selfish(handle):
+        yield sim.timeout(1)
+        handle[0].interrupt()
+
+    handle = [None]
+    handle[0] = sim.process(selfish(handle))
+    with pytest.raises(RuntimeError, match="interrupt itself"):
+        sim.run()
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.timeout(5)
+    sim.timeout(2)
+    assert sim.peek() == 2
+    sim.step()
+    assert sim.now == 2
+    assert sim.peek() == 5
+
+
+def test_determinism_across_runs():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def proc(tag, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                order.append((tag, sim.now))
+
+        sim.process(proc("a", [3, 3, 3]))
+        sim.process(proc("b", [2, 4, 3]))
+        sim.process(proc("c", [9]))
+        sim.run()
+        return order
+
+    assert build() == build()

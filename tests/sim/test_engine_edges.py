@@ -1,0 +1,139 @@
+"""Edge cases of the DES kernel beyond the basic suite."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+
+
+def test_waiting_on_failed_process_reraises():
+    sim = Simulator(strict=False)
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    def parent(cp):
+        with pytest.raises(ValueError, match="inner"):
+            yield cp
+        return "handled"
+
+    cp = sim.process(child())
+    p = sim.process(parent(cp))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_allof_fails_when_member_fails():
+    sim = Simulator(strict=False)
+    good = sim.timeout(5)
+    bad = Event(sim)
+
+    def proc():
+        with pytest.raises(RuntimeError, match="nope"):
+            yield AllOf(sim, [good, bad])
+        return True
+
+    p = sim.process(proc())
+    bad.fail(RuntimeError("nope"))
+    sim.run()
+    assert p.value is True
+
+
+def test_anyof_with_already_processed_event():
+    sim = Simulator()
+    early = sim.timeout(1)
+
+    def late_waiter():
+        yield sim.timeout(10)
+        result = yield AnyOf(sim, [early, sim.timeout(100)])
+        return (early in result, sim.now)
+
+    p = sim.process(late_waiter())
+    sim.run(until=p)
+    assert p.value == (True, 10)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = Event(sim)
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_interrupt_cause_none_by_default():
+    sim = Simulator()
+    seen = []
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            seen.append(intr.cause)
+
+    vp = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(1)
+        vp.interrupt()
+
+    sim.process(attacker())
+    sim.run()
+    assert seen == [None]
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(42)  # type: ignore[arg-type]
+
+
+def test_nested_process_chain_returns():
+    sim = Simulator()
+
+    def level(n):
+        if n == 0:
+            yield sim.timeout(1)
+            return 0
+        value = yield sim.process(level(n - 1))
+        return value + 1
+
+    p = sim.process(level(5))
+    sim.run()
+    assert p.value == 5
+    assert sim.now == 1
+
+
+def test_run_without_events_is_noop():
+    sim = Simulator()
+    assert sim.run() is None
+    assert sim.now == 0
+
+
+def test_clock_monotone_across_many_processes():
+    sim = Simulator()
+    stamps = []
+
+    def proc(seed):
+        delay = (seed * 7919) % 13 + 1
+        for _ in range(10):
+            yield sim.timeout(delay)
+            stamps.append(sim.now)
+
+    for seed in range(20):
+        sim.process(proc(seed))
+    sim.run()
+    assert stamps == sorted(stamps)
+
+
+def test_immediate_succeed_before_run():
+    sim = Simulator()
+    gate = Event(sim)
+    gate.succeed("early")
+
+    def proc():
+        value = yield gate
+        return value
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "early"

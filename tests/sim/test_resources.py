@@ -1,0 +1,230 @@
+"""Tests for resources and stores."""
+
+import pytest
+
+from repro.sim import (
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Simulator,
+    Store,
+)
+
+
+def test_resource_serializes_users():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        grants.append((tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(user("a", 10))
+    sim.process(user("b", 10))
+    sim.process(user("c", 10))
+    sim.run()
+    assert grants == [("a", 0), ("b", 10), ("c", 20)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        grants.append((tag, sim.now))
+        yield sim.timeout(10)
+        res.release(req)
+
+    for tag in "abc":
+        sim.process(user(tag))
+    sim.run()
+    assert grants == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def p1():
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    sim.process(p1())
+    sim.run()
+
+
+def test_resource_statistics():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(hold):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(user(10))
+    sim.process(user(10))
+    sim.run()
+    assert sim.now == 20
+    assert res.total_requests == 2
+    assert res.busy_time == 20
+    assert res.wait_time == 10  # second user waited 10 cycles
+    assert res.utilization() == pytest.approx(1.0)
+
+
+def test_priority_resource_orders_queue():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    grants = []
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def user(tag, prio, delay):
+        yield sim.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        grants.append(tag)
+        yield sim.timeout(1)
+        res.release(req)
+
+    sim.process(holder())
+    # Low-priority (1) prefetch arrives before high-priority (0) request,
+    # but the high-priority one is granted first.
+    sim.process(user("prefetch", 1, 1))
+    sim.process(user("urgent", 0, 2))
+    sim.run()
+    assert grants == ["urgent", "prefetch"]
+
+
+def test_priority_resource_fifo_within_level():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    grants = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(5)
+        res.release(req)
+
+    def user(tag):
+        yield sim.timeout(1)
+        req = res.request(priority=1)
+        yield req
+        grants.append(tag)
+        res.release(req)
+
+    sim.process(holder())
+    for tag in ("x", "y", "z"):
+        sim.process(user(tag))
+    sim.run()
+    assert grants == ["x", "y", "z"]
+
+
+def test_store_fifo_order_and_blocking_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    def producer():
+        store.put("early")
+        yield sim.timeout(10)
+        store.put("mid")
+        yield sim.timeout(10)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("early", 0), ("mid", 10), ("late", 20)]
+
+
+def test_store_tracks_peak_size():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    store.put(3)
+    assert store.peak_size == 3
+    assert store.total_puts == 3
+    assert len(store) == 3
+
+
+def test_priority_store_serves_urgent_first():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    store.put("prefetch-1", priority=1)
+    store.put("prefetch-2", priority=1)
+    store.put("urgent", priority=0)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["urgent", "prefetch-1", "prefetch-2"]
+
+
+def test_priority_store_wakes_blocked_getter():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(7)
+        store.put("cmd", priority=0)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("cmd", 7)]
+
+
+def test_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(consumer("c1"))
+    sim.process(consumer("c2"))
+    store.put("first")
+    store.put("second")
+    sim.run()
+    assert got == [("c1", "first"), ("c2", "second")]

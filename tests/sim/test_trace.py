@@ -1,0 +1,102 @@
+"""Tracer behaviour."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceEvent, Tracer
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    return sim, Tracer(sim)
+
+
+def test_disabled_by_default(rig):
+    sim, tracer = rig
+    assert not tracer.enabled
+    tracer.maybe("fault", page=1)
+    assert tracer.events == []
+
+
+def test_enable_and_emit(rig):
+    sim, tracer = rig
+    tracer.enable("fault", "lock")
+    assert tracer.wants("fault") and not tracer.wants("net")
+    tracer.maybe("fault", page=1, node=0)
+    tracer.maybe("net", bytes=64)  # not enabled
+    assert len(tracer.events) == 1
+    event = tracer.events[0]
+    assert event.category == "fault"
+    assert event.page == 1 and event.node == 0
+    assert event.time == 0
+
+
+def test_events_carry_sim_time(rig):
+    sim, tracer = rig
+    tracer.enable("tick")
+
+    def proc():
+        yield sim.timeout(42)
+        tracer.maybe("tick", n=1)
+
+    sim.process(proc())
+    sim.run()
+    assert tracer.events[0].time == 42
+
+
+def test_select_filters(rig):
+    sim, tracer = rig
+    tracer.enable("fault")
+    for node in (0, 1, 0):
+        tracer.emit("fault", node=node)
+    assert len(list(tracer.select(category="fault", node=0))) == 2
+    assert len(list(tracer.select(node=1))) == 1
+    assert list(tracer.select(category="lock")) == []
+
+
+def test_limit_drops_excess(rig):
+    sim, _ = rig
+    tracer = Tracer(sim, limit=2)
+    tracer.enable("x")
+    for i in range(5):
+        tracer.maybe("x", i=i)
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_counts_and_clear(rig):
+    sim, tracer = rig
+    tracer.enable("a", "b")
+    tracer.emit("a")
+    tracer.emit("a")
+    tracer.emit("b")
+    assert tracer.counts() == {"a": 2, "b": 1}
+    tracer.clear()
+    assert tracer.events == [] and tracer.dropped == 0
+
+
+def test_disable_specific_and_all(rig):
+    sim, tracer = rig
+    tracer.enable("a", "b")
+    tracer.disable("a")
+    assert not tracer.wants("a") and tracer.wants("b")
+    tracer.disable()
+    assert not tracer.enabled
+
+
+def test_event_str_and_missing_attr(rig):
+    sim, tracer = rig
+    event = TraceEvent(5.0, "fault", {"page": 3})
+    assert "fault" in str(event) and "page=3" in str(event)
+    with pytest.raises(AttributeError):
+        _ = event.nonexistent
+
+
+def test_dump_renders_lines(rig):
+    sim, tracer = rig
+    tracer.enable("a")
+    tracer.emit("a", k=1)
+    tracer.emit("a", k=2)
+    dump = tracer.dump()
+    assert dump.count("\n") == 1 and "k=2" in dump

@@ -1,0 +1,127 @@
+"""TimeBreakdown accounting and report rendering."""
+
+import pytest
+
+from repro.apps.ocean import Ocean
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.stats.breakdown import Category, TimeBreakdown
+from repro.stats.report import (
+    breakdown_bar,
+    format_comparison,
+    format_run,
+    speedup_table,
+)
+
+
+# -- TimeBreakdown ------------------------------------------------------------
+
+def test_charge_and_total():
+    b = TimeBreakdown()
+    b.charge(Category.BUSY, 60)
+    b.charge(Category.DATA, 30)
+    b.charge(Category.SYNC, 10)
+    assert b.total == 100
+    assert b.fraction(Category.BUSY) == pytest.approx(0.6)
+    assert b.get(Category.DATA) == 30
+
+
+def test_negative_charge_rejected():
+    b = TimeBreakdown()
+    with pytest.raises(ValueError):
+        b.charge(Category.BUSY, -1)
+    with pytest.raises(ValueError):
+        b.charge_diff(-1)
+
+
+def test_diff_cycles_overlap_categories():
+    b = TimeBreakdown()
+    b.charge(Category.DATA, 100)
+    b.charge_diff(40)
+    assert b.total == 100  # diff time overlaps, not adds
+    assert b.diff_fraction() == pytest.approx(0.4)
+
+
+def test_copy_is_independent():
+    b = TimeBreakdown()
+    b.charge(Category.BUSY, 5)
+    c = b.copy()
+    c.charge(Category.BUSY, 5)
+    assert b.get(Category.BUSY) == 5
+    assert c.get(Category.BUSY) == 10
+
+
+def test_merge():
+    a = TimeBreakdown()
+    a.charge(Category.BUSY, 5)
+    b = TimeBreakdown()
+    b.charge(Category.SYNC, 7)
+    b.charge_diff(2)
+    merged = a.merged_with(b)
+    assert merged.total == 12
+    assert merged.diff_cycles == 2
+
+
+def test_as_dict_and_repr():
+    b = TimeBreakdown()
+    b.charge(Category.IPC, 3)
+    d = b.as_dict()
+    assert d["ipc"] == 3 and d["diff"] == 0
+    assert "ipc=3" in repr(b)
+
+
+def test_empty_breakdown_fractions():
+    b = TimeBreakdown()
+    assert b.fraction(Category.BUSY) == 0.0
+    assert b.diff_fraction() == 0.0
+
+
+# -- report rendering ----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sample_results():
+    base = run_app(Ocean(4, grid=18, iterations=2),
+                   ProtocolConfig.treadmarks("Base"))
+    aurc = run_app(Ocean(4, grid=18, iterations=2),
+                   ProtocolConfig.aurc())
+    return base, aurc
+
+
+def test_breakdown_bar_proportions():
+    b = TimeBreakdown()
+    b.charge(Category.BUSY, 50)
+    b.charge(Category.DATA, 50)
+    bar = breakdown_bar(b, width=10)
+    assert len(bar) == 10
+    assert bar.count("#") == 5
+    assert bar.count("d") == 5
+
+
+def test_breakdown_bar_empty():
+    assert breakdown_bar(TimeBreakdown(), width=8) == " " * 8
+
+
+def test_format_run_contains_key_facts(sample_results):
+    base, aurc = sample_results
+    text = format_run(base, verbose=True)
+    assert "Ocean under TM/Base" in text
+    assert "diffs created" in text
+    assert "network" in text
+    aurc_text = format_run(aurc)
+    assert "pairwise" in aurc_text
+
+
+def test_format_comparison_normalizes(sample_results):
+    base, aurc = sample_results
+    text = format_comparison([base, aurc])
+    assert "100.0%" in text
+    assert "AURC" in text
+
+
+def test_speedup_table(sample_results):
+    base, _ = sample_results
+    text = speedup_table(base.execution_cycles * 3, [base])
+    assert "3.00" in text
+
+
+def test_format_comparison_empty():
+    assert format_comparison([]) == "(no runs)"
