@@ -3,8 +3,14 @@
 Set ``REPRO_QUICK=1`` to run every figure at reduced problem sizes
 (useful for smoke-testing the harness); the default regenerates the
 figures at the full default sizes recorded in EXPERIMENTS.md.
+
+Set ``REPRO_REPORT_DIR=<dir>`` to archive a machine-readable JSON run
+report (:class:`repro.stats.report.RunReport` schema) for every
+:class:`~repro.harness.runner.RunResult` a benchmark returns -- one
+file per benchmark, named after the test.
 """
 
+import json
 import os
 
 import pytest
@@ -15,12 +21,43 @@ def quick() -> bool:
     return os.environ.get("REPRO_QUICK", "") == "1"
 
 
+def _dump_reports(name: str, value) -> None:
+    """Archive RunReport JSON for any RunResult(s) in ``value``."""
+    report_dir = os.environ.get("REPRO_REPORT_DIR", "")
+    if not report_dir:
+        return
+    from repro.stats.report import RunReport
+
+    results = []
+
+    def collect(obj):
+        if hasattr(obj, "execution_cycles") and hasattr(obj, "to_json"):
+            results.append(obj)
+        elif isinstance(obj, dict):
+            for item in obj.values():
+                collect(item)
+        elif isinstance(obj, (list, tuple)):
+            for item in obj:
+                collect(item)
+
+    collect(value)
+    if not results:
+        return
+    os.makedirs(report_dir, exist_ok=True)
+    docs = [RunReport(result).to_json() for result in results]
+    path = os.path.join(report_dir, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(docs[0] if len(docs) == 1 else docs, fh)
+
+
 @pytest.fixture
-def once(benchmark):
+def once(benchmark, request):
     """Run a figure-regeneration callable exactly once under
     pytest-benchmark (each 'iteration' is a full simulation campaign,
     so statistical repetition is wasted work)."""
     def run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1)
+        value = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                   rounds=1, iterations=1)
+        _dump_reports(request.node.name, value)
+        return value
     return run

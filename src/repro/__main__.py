@@ -5,10 +5,20 @@ Commands
 
 ``run APP``
     Simulate one application under one protocol and print its report.
+    ``--trace FILE`` writes a Perfetto-loadable Chrome trace (or JSONL
+    when FILE ends in ``.jsonl``); ``--metrics FILE`` writes the
+    machine-readable JSON run report (metrics registry + time series).
 
 ``figure N``
-    Regenerate one of the paper's figures (1, 2, 5-10, 11, 13, 14, 15,
-    16) and print the table.
+    Regenerate one of the paper's figures (1, 2, 5-11, 13-16; 12 is an
+    alias for 11 -- the paper presents the TreadMarks/AURC comparison
+    as figures 11 and 12) and print the table.
+
+``metrics FILE``
+    Summarize a JSON run report written by ``run --metrics``.
+
+``trace FILE``
+    Summarize (or dump) a trace file written by ``run --trace``.
 
 ``list``
     List applications, overlap modes, and protocols.
@@ -17,19 +27,29 @@ Examples::
 
     python -m repro run Em3d --protocol I+D --procs 16
     python -m repro run Water --protocol aurc --prefetch
+    python -m repro run Em3d --protocol I+D --quick \\
+        --trace /tmp/em3d.json --metrics /tmp/em3d-metrics.json
     python -m repro figure 1 --quick
     python -m repro figure 5 --app Ocean
+    python -m repro metrics /tmp/em3d-metrics.json
+    python -m repro trace /tmp/em3d.json --category fault --limit 20
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.dsm.overlap import ALL_MODES
 from repro.harness import experiments, figures
 from repro.harness.runner import ProtocolConfig, run_app
-from repro.stats.report import format_run
+from repro.stats.exporters import (
+    load_trace_file,
+    summarize_events,
+    write_trace,
+)
+from repro.stats.report import RunReport, format_run
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,15 +72,37 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-verify", action="store_true",
                        help="skip the result-verification epilogue")
     run_p.add_argument("--verbose", action="store_true")
+    run_p.add_argument("--trace", metavar="FILE", default=None,
+                       help="record a trace and write it to FILE "
+                            "(Chrome/Perfetto JSON, or JSONL for "
+                            "a .jsonl suffix)")
+    run_p.add_argument("--metrics", metavar="FILE", default=None,
+                       help="record metrics and write the JSON run "
+                            "report to FILE")
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int,
-                       choices=[1, 2, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15,
-                                16])
+                       choices=[1, 2, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                                15, 16],
+                       help="figure number (1, 2, 5-16 except 3-4; "
+                            "12 is an alias for 11, the protocol "
+                            "comparison spans both)")
     fig_p.add_argument("--app", default=None,
                        help="application for figures 5-10 "
                             "(default: the figure's own app)")
     fig_p.add_argument("--quick", action="store_true")
+
+    met_p = sub.add_parser("metrics",
+                           help="summarize a JSON run report")
+    met_p.add_argument("file", help="report written by run --metrics")
+
+    tr_p = sub.add_parser("trace", help="summarize or dump a trace file")
+    tr_p.add_argument("file", help="trace written by run --trace")
+    tr_p.add_argument("--category", default=None,
+                      help="only show events of this category")
+    tr_p.add_argument("--limit", type=int, default=0,
+                      help="print up to N individual events (default: "
+                           "summary only)")
 
     sub.add_parser("list", help="list applications and protocols")
     return parser
@@ -76,16 +118,29 @@ def _cmd_run(args) -> int:
     else:
         config = ProtocolConfig.treadmarks(args.protocol)
     app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
-    result = run_app(app, config, verify=not args.no_verify)
+    result = run_app(app, config, verify=not args.no_verify,
+                     trace=args.trace is not None,
+                     metrics=args.metrics is not None)
     print(format_run(result, verbose=args.verbose))
     if result.verified:
         print("result verified against the reference solution")
+    if args.trace is not None:
+        write_trace(result.tracer, args.trace)
+        print(f"trace: {len(result.tracer.events)} events "
+              f"({result.tracer.dropped} dropped) -> {args.trace}")
+    if args.metrics is not None:
+        report = RunReport(result)
+        with open(args.metrics, "w") as fh:
+            json.dump(report.to_json(), fh)
+        print(f"metrics report -> {args.metrics}")
     return 0
 
 
 def _cmd_figure(args) -> int:
     quick = args.quick
     n = args.number
+    if n == 12:
+        n = 11  # the comparison spans paper figures 11 and 12
     if n == 1:
         print(figures.render_speedups(
             experiments.fig1_speedups(quick=quick)))
@@ -118,6 +173,103 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _format_labels(labels) -> str:
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) \
+        + "}"
+
+
+def _hist_quantile(hist: dict, q: float) -> float:
+    """Bucket-boundary quantile of a serialized histogram."""
+    count = hist["count"]
+    if not count:
+        return 0.0
+    target = q * count
+    seen = 0
+    bounds = hist["buckets"]
+    for i, c in enumerate(hist["counts"]):
+        seen += c
+        if seen >= target and c:
+            if i < len(bounds):
+                return bounds[i]
+            break
+    return hist["max"] or 0.0
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        with open(args.file) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    run = doc.get("run")
+    metrics = doc.get("metrics", doc if "counters" in doc else None)
+    if run:
+        print(f"{run['app']} under {run['protocol']} "
+              f"on {run['n_procs']} processors: "
+              f"{run['execution_cycles'] / 1e6:.2f} Mcycles")
+    if "trace" in doc:
+        tr = doc["trace"]
+        print(f"trace: {tr['events']} events ({tr['dropped']} dropped)")
+    if metrics is None:
+        print("no metrics section in this file")
+        return 1
+    totals = {}
+    for counter in metrics.get("counters", []):
+        totals[counter["name"]] = (totals.get(counter["name"], 0.0)
+                                   + counter["value"])
+    if totals:
+        print("counters (summed over labels):")
+        for name in sorted(totals):
+            print(f"  {name:28s} {totals[name]:14.0f}")
+    histograms = metrics.get("histograms", [])
+    if histograms:
+        print("histograms:")
+        for hist in histograms:
+            labels = _format_labels(hist.get("labels"))
+            n = hist["count"]
+            mean = hist["sum"] / n if n else 0.0
+            print(f"  {hist['name']}{labels}: n={n} "
+                  f"mean={mean:.1f} "
+                  f"p50={_hist_quantile(hist, 0.5):.0f} "
+                  f"p95={_hist_quantile(hist, 0.95):.0f} "
+                  f"max={hist['max'] or 0:.0f}")
+    series = metrics.get("series", [])
+    if series:
+        groups = {}
+        for s in series:
+            entry = groups.setdefault(s["name"], [0, 0.0])
+            entry[0] += len(s["times"])
+            if s["values"]:
+                entry[1] = max(entry[1], max(s["values"]))
+        print("series:")
+        for name in sorted(groups):
+            points, peak = groups[name]
+            print(f"  {name:28s} {points:6d} points, peak {peak:g}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    try:
+        events = load_trace_file(args.file)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.category is not None:
+        events = [e for e in events
+                  if e.get("cat", e.get("category")) == args.category]
+    counts = summarize_events(events)
+    print(f"{len(events)} events in {args.file}")
+    for cat, count in counts.items():
+        print(f"  {cat:12s} {count}")
+    if args.limit > 0:
+        for event in events[:args.limit]:
+            print(json.dumps(event, default=str))
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("applications:", ", ".join(experiments.APP_ORDER))
     print("overlap modes:", ", ".join(m.name for m in ALL_MODES))
@@ -132,6 +284,10 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_list(args)
 
 

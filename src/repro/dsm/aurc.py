@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.dsm.barriers import BarrierService
 from repro.dsm.locks import LockService
-from repro.dsm.prefetch import PrefetchStats
+from repro.dsm.prefetch import PrefetchStats, note_prefetch
 from repro.dsm.protocol import (
     AurcPageReply,
     AurcPageRequest,
@@ -381,7 +381,7 @@ class Aurc(DsmProtocol):
             ap = st.page(page, self.params.words_per_page)
             if not ap.is_valid():
                 yield from self._fault(node, st, ap)
-            self._note_use(ap)
+            self._note_use(node, ap)
             # Capture the data at the access point: a pair replacement
             # can drop our frame during the interruptible timing hold.
             chunk = ap.frame[offset:offset + count].copy()
@@ -401,7 +401,7 @@ class Aurc(DsmProtocol):
             ap = st.page(page, self.params.words_per_page)
             if not ap.is_valid():
                 yield from self._fault(node, st, ap)
-            self._note_use(ap)
+            self._note_use(node, ap)
             chunk = values[cursor:cursor + count]
             ap.ensure_frame()[offset:offset + count] = chunk
             # Automatic update: data lands at the destination's frame
@@ -524,6 +524,7 @@ class Aurc(DsmProtocol):
                 if ap.prefetch_ready:
                     ap.prefetch_ready = False
                     self.stats.prefetch.useless += 1
+                    note_prefetch(self.sim, pid, "useless", page)
                 if dst == pid:
                     # Updates flow to us automatically (pairwise partner
                     # or we are the home): wait, do not invalidate.
@@ -536,10 +537,24 @@ class Aurc(DsmProtocol):
                 + len(invalidated) * self.params.page_state_change_cycles)
         if cost:
             yield self.sim.timeout(cost)
+        metrics = self.sim.metrics
+        if notices:
+            if metrics is not None:
+                metrics.inc("write_notices", notices, node=pid)
+                metrics.inc("notice_invalidations", len(invalidated),
+                            node=pid)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.wants("notice"):
+                tracer.emit("notice", node=pid, action="process",
+                            notices=notices, invalidated=len(invalidated))
+        wait_start = self.sim.now
         for writer, seq in waits:
             if seq:
                 self.stats.local_waits += 1
                 yield from node.nic.au_engine.wait_for(writer, seq)
+        if metrics is not None and self.sim.now > wait_start:
+            metrics.inc("au_local_wait_cycles", self.sim.now - wait_start,
+                        node=pid)
         for ap in invalidated:
             self._invalidate_cached(node, ap)
         if self.prefetch:
@@ -554,11 +569,12 @@ class Aurc(DsmProtocol):
     # faults and fetches
     # ------------------------------------------------------------------
 
-    def _note_use(self, ap: AurcPage) -> None:
+    def _note_use(self, node: Node, ap: AurcPage) -> None:
         ap.referenced = True
         if ap.prefetch_ready:
             ap.prefetch_ready = False
             self.stats.prefetch.useful += 1
+            note_prefetch(self.sim, node.node_id, "hit", ap.page)
             if ap.prefetch_issued_at is not None:
                 self.stats.prefetch.lead_cycles_total += (
                     self.sim.now - ap.prefetch_issued_at)
@@ -566,8 +582,10 @@ class Aurc(DsmProtocol):
     def _fault(self, node: Node, st: NodeAurcState, ap: AurcPage):
         """Processor-context generator: make ``ap`` valid (charges DATA)."""
         self.stats.faults += 1
+        fault_start = self.sim.now
         if ap.prefetch_event is not None:
             self.stats.prefetch.late += 1
+            note_prefetch(self.sim, node.node_id, "late", ap.page)
             yield from node.cpu.wait(ap.prefetch_event, Category.DATA)
         while not ap.is_valid():
             pid = node.node_id
@@ -591,6 +609,15 @@ class Aurc(DsmProtocol):
                 continue
             yield from self._fetch_page(node, st, ap, authority,
                                         prefetch=False)
+        elapsed = self.sim.now - fault_start
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("faults", node=node.node_id, kind="access")
+            metrics.observe("fault_stall_cycles", elapsed, kind="access")
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("fault"):
+            tracer.emit("fault", node=node.node_id, action="access",
+                        page=ap.page, begin=fault_start, dur=elapsed)
 
     def _drain_wait(self, node: Node, writer: int, seq: int, gate: Event):
         yield from node.nic.au_engine.wait_for(writer, seq)
@@ -744,6 +771,8 @@ class Aurc(DsmProtocol):
                 continue
             self.stats.prefetch.issued += 1
             self.stats.prefetch.diff_requests += 1
+            note_prefetch(self.sim, pid, "issue", ap.page,
+                          authority=authority)
             token = self.new_token()
             done = self.register_pending(token, None)
             stamps = {writer: seq
@@ -782,6 +811,7 @@ class Aurc(DsmProtocol):
                     ap.prefetch_ready = False
                     ap.prefetch_event = None
                     self.stats.prefetch.useless += 1
+                    note_prefetch(self.sim, st.pid, "useless", ap.page)
 
     def total_update_traffic_bytes(self) -> int:
         return sum(node.nic.au_engine.update_bytes

@@ -85,6 +85,7 @@ class BarrierService:
         pid = node.node_id
         state = self._nstate(pid, barrier)
         state.epoch += 1
+        start = self.sim.now
         state.waiting = Event(self.sim)
         manager = self.protocol.lock_manager(barrier)
         payload = self.protocol.barrier_arrive_payload(node)
@@ -100,6 +101,16 @@ class BarrierService:
         yield from node.cpu.run_generator(
             self.protocol.barrier_process_release(node, release_payload),
             Category.SYNC)
+        elapsed = self.sim.now - start
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.observe("barrier_wait_cycles", elapsed,
+                            node=node.node_id)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("barrier"):
+            tracer.emit("barrier", node=node.node_id, action="wait",
+                        barrier=barrier, epoch=state.epoch,
+                        begin=start, dur=elapsed)
 
     # -- the manager side -----------------------------------------------------------
 
@@ -119,6 +130,13 @@ class BarrierService:
             return
         # Last arrival: merge coherence info and broadcast releases.
         self.stats.episodes += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("barrier_episodes", barrier=msg.barrier)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("barrier"):
+            tracer.emit("barrier", node=node.node_id, action="release",
+                        barrier=msg.barrier, epoch=mstate.epoch)
         payloads = mstate.payloads
         mstate.arrived = 0
         mstate.payloads = []

@@ -108,6 +108,7 @@ class LockService:
         if state.held:
             raise RuntimeError(f"node {pid} re-acquiring held lock {lock}")
         self.stats.acquires += 1
+        start = self.sim.now
         if state.owner_here:
             # Cached ownership: no messages, no consistency actions needed
             # (we were the last releaser, our knowledge is current).
@@ -115,6 +116,7 @@ class LockService:
             self.stats.local_reacquires += 1
             yield from node.cpu.hold(self.params.page_state_change_cycles,
                                      Category.SYNC)
+            self._record_acquire(node, lock, start, cached=True)
             return
         manager = self.protocol.lock_manager(lock)
         state.waiting = Event(self.sim)
@@ -131,6 +133,19 @@ class LockService:
         yield from node.cpu.run_generator(
             self.protocol.lock_process_grant(node, grant_payload),
             Category.SYNC)
+        self._record_acquire(node, lock, start, cached=False)
+
+    def _record_acquire(self, node: Node, lock: int, start: float,
+                        cached: bool) -> None:
+        elapsed = self.sim.now - start
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("lock_acquires", node=node.node_id, cached=cached)
+            metrics.observe("lock_acquire_cycles", elapsed, cached=cached)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("lock"):
+            tracer.emit("lock", node=node.node_id, action="acquire",
+                        lock=lock, cached=cached, begin=start, dur=elapsed)
 
     def release(self, node: Node, lock: int):
         """Generator: release ``lock``, granting to a waiting successor."""
@@ -164,6 +179,11 @@ class LockService:
                                    msg.payload)
         else:
             self.stats.forwards += 1
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.wants("lock"):
+                tracer.emit("lock", node=node.node_id, action="forward",
+                            lock=msg.lock, requester=msg.requester,
+                            to=previous)
             forward = LockForward(lock=msg.lock, requester=msg.requester,
                                   payload=msg.payload)
             yield from self.protocol.send(node, previous, forward)
@@ -199,6 +219,10 @@ class LockService:
                req_payload: Any):
         """Raw generator: build the grant payload and send ownership."""
         self.stats.grants_sent += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("lock"):
+            tracer.emit("lock", node=node.node_id, action="grant",
+                        lock=lock, requester=requester)
         payload = yield from self.protocol.lock_grant_payload(
             node, requester, req_payload)
         grant = LockGrant(lock=lock, payload=payload)

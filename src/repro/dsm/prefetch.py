@@ -17,10 +17,30 @@ still in flight (the fault then waits for it rather than re-requesting).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.dsm.page import TmPage
 
-__all__ = ["PrefetchStats", "should_prefetch"]
+__all__ = ["PrefetchStats", "should_prefetch", "note_prefetch"]
+
+
+def note_prefetch(sim, node_id: int, action: str, page: int,
+                  **extra: Any) -> None:
+    """Guarded observability emission for one prefetch lifecycle event.
+
+    ``action`` is one of ``issue`` / ``hit`` / ``useless`` / ``late``,
+    mirroring the :class:`PrefetchStats` counters; both TreadMarks and
+    AURC route their prefetch accounting through here so traces and
+    metrics stay comparable across protocols.  Zero-cost when neither a
+    tracer nor a registry is attached to ``sim``.
+    """
+    metrics = sim.metrics
+    if metrics is not None:
+        metrics.inc("prefetch_events", node=node_id, action=action)
+    tracer = sim.tracer
+    if tracer is not None and tracer.wants("prefetch"):
+        tracer.emit("prefetch", node=node_id, action=action, page=page,
+                    **extra)
 
 
 @dataclass

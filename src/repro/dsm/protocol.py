@@ -288,6 +288,11 @@ class DsmProtocol:
         self._pending[token] = (event, context)
         return event
 
+    @property
+    def pending_requests(self) -> int:
+        """Outstanding page/diff requests awaiting replies (for sampling)."""
+        return len(self._pending)
+
     def pending_context(self, token: int) -> Any:
         entry = self._pending.get(token)
         return entry[1] if entry else None

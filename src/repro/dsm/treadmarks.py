@@ -36,6 +36,7 @@ from repro.dsm.overlap import BASE, OverlapMode
 from repro.dsm.page import TmPage
 from repro.dsm.prefetch import (
     PrefetchStats,
+    note_prefetch,
     should_prefetch,
     should_prefetch_adaptive,
 )
@@ -63,6 +64,7 @@ from repro.hardware.node import Cluster, Node
 from repro.hardware.params import MachineParams
 from repro.sim import AllOf, Event, Simulator
 from repro.stats.breakdown import Category
+from repro.stats.metrics import DIFF_WORDS_BUCKETS
 
 __all__ = ["TreadMarks", "TmStats", "NodeTmState"]
 
@@ -234,7 +236,7 @@ class TreadMarks(DsmProtocol):
             tp = st.page(page, self.params.words_per_page)
             if not tp.is_valid():
                 yield from self._fault(node, st, tp, write=False)
-            self._note_use(tp)
+            self._note_use(node, tp)
             busy, others = node.access_cost_cycles(
                 page, page * self.params.words_per_page + offset, count,
                 write=False)
@@ -253,7 +255,7 @@ class TreadMarks(DsmProtocol):
                 yield from self._fault(node, st, tp, write=True)
             if not tp.write_active:
                 yield from self._write_fault(node, st, tp)
-            self._note_use(tp)
+            self._note_use(node, tp)
             tp.record_write(offset, count, values[cursor:cursor + count])
             busy, others = node.access_cost_cycles(
                 page, page * self.params.words_per_page + offset, count,
@@ -367,6 +369,8 @@ class TreadMarks(DsmProtocol):
     def _apply_hybrid_diffs(self, node: Node, diffs):
         """Raw generator: apply grant-piggybacked diffs where possible."""
         st = self.states[node.node_id]
+        start = self.sim.now
+        applied_words = 0
         for diff in sorted(diffs, key=lambda d: d.to_id):
             tp = st.pages.get(diff.page)
             if tp is None or not tp.has_frame:
@@ -388,6 +392,10 @@ class TreadMarks(DsmProtocol):
             self.stats.hybrid_diffs_applied += 1
             self.stats.diffs_applied += 1
             self.stats.diff_words_applied += diff.dirty_words
+            applied_words += diff.dirty_words
+        if applied_words:
+            self._note_diff(node, "apply", applied_words, start,
+                            where="hybrid")
 
     def barrier_arrive_payload(self, node: Node):
         st = self.states[node.node_id]
@@ -439,6 +447,7 @@ class TreadMarks(DsmProtocol):
                     tp.prefetch_ready = False
                     tp.pf_useless_streak += 1
                     self.stats.prefetch.useless += 1
+                    note_prefetch(self.sim, node.node_id, "useless", page)
                 if newly_invalid:
                     invalidated.append(tp)
         st.vc.merge(VectorClock(values=vc_tuple))
@@ -448,6 +457,16 @@ class TreadMarks(DsmProtocol):
             yield self.sim.timeout(cost)
         for tp in invalidated:
             self._invalidate_cached(node, tp)
+        if notices:
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.inc("write_notices", notices, node=node.node_id)
+                metrics.inc("notice_invalidations", len(invalidated),
+                            node=node.node_id)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.wants("notice"):
+                tracer.emit("notice", node=node.node_id, action="process",
+                            notices=notices, invalidated=len(invalidated))
         if self.mode.prefetch:
             yield from self._issue_prefetches(node, st)
 
@@ -460,18 +479,20 @@ class TreadMarks(DsmProtocol):
     # faults
     # ------------------------------------------------------------------
 
-    def _note_use(self, tp: TmPage) -> None:
+    def _note_use(self, node: Node, tp: TmPage) -> None:
         tp.referenced = True
         tp.pf_useless_streak = 0
         if tp.prefetch_ready:
             tp.prefetch_ready = False
             self.stats.prefetch.useful += 1
+            note_prefetch(self.sim, node.node_id, "hit", tp.page)
             if tp.prefetch_issued_at is not None:
                 self.stats.prefetch.lead_cycles_total += (
                     self.sim.now - tp.prefetch_issued_at)
 
     def _fault(self, node: Node, st: NodeTmState, tp: TmPage, write: bool):
         """Processor-context generator: make ``tp`` valid (charges DATA)."""
+        start = self.sim.now
         if write:
             self.stats.write_faults += 1
         else:
@@ -479,6 +500,7 @@ class TreadMarks(DsmProtocol):
         if tp.prefetch_event is not None:
             # A prefetch is in flight: wait for it instead of re-requesting.
             self.stats.prefetch.late += 1
+            note_prefetch(self.sim, node.node_id, "late", tp.page)
             yield from node.cpu.wait(tp.prefetch_event, Category.DATA)
         while True:
             if not tp.has_frame:
@@ -487,6 +509,16 @@ class TreadMarks(DsmProtocol):
             if not writers:
                 break
             yield from self._fetch_diffs(node, st, tp, writers)
+        kind = "write" if write else "read"
+        elapsed = self.sim.now - start
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("faults", node=node.node_id, kind=kind)
+            metrics.observe("fault_stall_cycles", elapsed, kind=kind)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("fault"):
+            tracer.emit("fault", node=node.node_id, action=kind,
+                        page=tp.page, begin=start, dur=elapsed)
 
     def _cold_fetch(self, node: Node, st: NodeTmState, tp: TmPage):
         """Processor-context generator: install a first page copy."""
@@ -542,6 +574,7 @@ class TreadMarks(DsmProtocol):
                                diffs: List[DiffRecord]):
         """Raw generator: software diff application on the processor."""
         start = self.sim.now
+        applied_words = 0
         for diff in apply_order(diffs):
             yield self.sim.timeout(
                 diff.dirty_words * self.params.diff_cycles_per_word)
@@ -549,8 +582,12 @@ class TreadMarks(DsmProtocol):
             tp.apply_incoming(diff)
             self.stats.diffs_applied += 1
             self.stats.diff_words_applied += diff.dirty_words
+            applied_words += diff.dirty_words
         self._invalidate_cached(node, tp)
         node.cpu.breakdown.charge_diff(self.sim.now - start)
+        if diffs:
+            self._note_diff(node, "apply", applied_words, start,
+                            where="processor", page=tp.page)
 
     def _write_fault(self, node: Node, st: NodeTmState, tp: TmPage):
         """Processor-context generator: arm write collection (twin)."""
@@ -673,15 +710,33 @@ class TreadMarks(DsmProtocol):
         if self.mode.hardware_diffs:
             yield from node.controller.dma_diff_create(dirty_words)
             self.controller_diff_cycles[node.node_id] += self.sim.now - start
+            where = "dma"
         elif self.mode.offload:
             yield from node.controller.software_diff_create()
             self.controller_diff_cycles[node.node_id] += self.sim.now - start
+            where = "controller"
         else:
             # On the computation processor: full-page scan against the twin.
             yield self.sim.timeout(self.params.words_per_page
                                    * self.params.diff_cycles_per_word)
             yield from node.memory.access(self.params.words_per_page)
             node.cpu.breakdown.charge_diff(self.sim.now - start)
+            where = "processor"
+        self._note_diff(node, "create", dirty_words, start, where=where)
+
+    def _note_diff(self, node: Node, action: str, dirty_words: int,
+                   start: float, **extra) -> None:
+        """Guarded metrics/trace emission for one diff create/apply span."""
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc(f"diff_{action}s", node=node.node_id)
+            metrics.observe("diff_size_words", dirty_words,
+                            buckets=DIFF_WORDS_BUCKETS, action=action)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("diff"):
+            tracer.emit("diff", node=node.node_id, action=action,
+                        words=dirty_words, begin=start,
+                        dur=self.sim.now - start, **extra)
 
     # ------------------------------------------------------------------
     # replies
@@ -731,6 +786,7 @@ class TreadMarks(DsmProtocol):
         a fault's diffs in vector-timestamp order.
         """
         start = self.sim.now
+        applied_words = 0
         for diff in msg.diffs:
             if self.mode.hardware_diffs:
                 yield from node.controller.dma_diff_apply(diff.dirty_words)
@@ -739,23 +795,32 @@ class TreadMarks(DsmProtocol):
                     diff.dirty_words)
             self.stats.diffs_applied += 1
             self.stats.diff_words_applied += diff.dirty_words
+            applied_words += diff.dirty_words
         if gather.add(msg.diffs):
             for diff in apply_order(gather.diffs):
                 gather.tp.apply_incoming(diff)
             self._invalidate_cached(node, gather.tp)
         self.controller_diff_cycles[node.node_id] += self.sim.now - start
+        if msg.diffs:
+            self._note_diff(node, "apply", applied_words, start,
+                            where="controller", page=msg.page)
         self.complete_pending(msg.token)
 
     def _processor_prefetch_apply(self, node: Node, gather: "_DiffGather",
                                   msg: DiffReply):
         """Raw generator (P mode): the processor applies a prefetched diff."""
         start = self.sim.now
+        applied_words = 0
         for diff in msg.diffs:
             yield self.sim.timeout(
                 diff.dirty_words * self.params.diff_cycles_per_word)
             yield from node.memory.access_scattered(diff.dirty_words)
             self.stats.diffs_applied += 1
             self.stats.diff_words_applied += diff.dirty_words
+            applied_words += diff.dirty_words
+        if msg.diffs:
+            self._note_diff(node, "apply", applied_words, start,
+                            where="processor", page=msg.page)
         if gather.add(msg.diffs):
             for diff in apply_order(gather.diffs):
                 gather.tp.apply_incoming(diff)
@@ -804,6 +869,8 @@ class TreadMarks(DsmProtocol):
                     yield from self.send(node, writer, request)
                 events.append(done)
             self.stats.prefetch.issued += 1
+            note_prefetch(self.sim, node.node_id, "issue", tp.page,
+                          writers=len(writers))
             tp.prefetch_event = AllOf(self.sim, events)
             tp.prefetch_issued_at = self.sim.now
             tp.referenced = False
@@ -833,6 +900,7 @@ class TreadMarks(DsmProtocol):
                     tp.prefetch_event = None
                     tp.pf_useless_streak += 1
                     self.stats.prefetch.useless += 1
+                    note_prefetch(self.sim, st.pid, "useless", tp.page)
 
     def total_diff_cycles(self) -> float:
         """Twin + diff time across processors and controllers."""

@@ -30,6 +30,7 @@ from typing import Callable, Generator, Optional
 
 from repro.hardware.params import MachineParams
 from repro.sim import Event, PriorityStore, Simulator
+from repro.stats.metrics import QUEUE_WAIT_BUCKETS
 
 __all__ = ["ProtocolController", "Command", "PRIORITY_URGENT",
            "PRIORITY_REMOTE", "PRIORITY_PREFETCH"]
@@ -98,13 +99,31 @@ class ProtocolController:
     def _serve_loop(self):
         while True:
             cmd: Command = yield self.queue.get()
-            self.queue_wait_cycles += self.sim.now - cmd.enqueued_at
+            wait = self.sim.now - cmd.enqueued_at
+            self.queue_wait_cycles += wait
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.observe(
+                    "ctrl_queue_wait", wait, buckets=QUEUE_WAIT_BUCKETS,
+                    node=self.node_id,
+                    priority=("low" if cmd.priority >= PRIORITY_PREFETCH
+                              else "high"))
             started = self.sim.now
             result = yield from cmd.work()
-            self.busy_cycles += self.sim.now - started
+            elapsed = self.sim.now - started
+            self.busy_cycles += elapsed
             self.commands_served += 1
             self.per_command_counts[cmd.name] = (
                 self.per_command_counts.get(cmd.name, 0) + 1)
+            if metrics is not None:
+                metrics.inc("ctrl_commands", node=self.node_id,
+                            command=cmd.name)
+                metrics.inc("ctrl_busy_cycles", elapsed, node=self.node_id)
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.wants("ctrl"):
+                tracer.emit("ctrl", node=self.node_id, track="ctrl",
+                            action=cmd.name, begin=started, dur=elapsed,
+                            wait=wait, priority=cmd.priority)
             if cmd.done is not None and not cmd.done.triggered:
                 cmd.done.succeed(result)
 

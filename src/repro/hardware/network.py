@@ -99,6 +99,10 @@ class MeshNetwork:
         dx, dy = self.coords(dst)
         return abs(x - dx) + abs(y - dy)
 
+    def iter_links(self):
+        """Iterate ``((src, dst), Resource)`` over every directed link."""
+        return self._links.items()
+
     def uncontended_cycles(self, src: int, dst: int, nbytes: int) -> float:
         """Transfer time with empty links (for analysis and tests)."""
         hops = self.hops(src, dst)
@@ -119,6 +123,7 @@ class MeshNetwork:
             return  # local loopback: no mesh traversal
         start = self.sim.now
         path = self.route(src, dst)
+        metrics = self.sim.metrics
         held = []
         try:
             for link_key in path:
@@ -139,6 +144,17 @@ class MeshNetwork:
         self.stats.total_blocked += blocked
         per_class = self.stats.per_class_bytes
         per_class[traffic_class] = per_class.get(traffic_class, 0) + nbytes
+        if metrics is not None:
+            metrics.inc("net_transfers", traffic_class=traffic_class)
+            metrics.inc("net_bytes", nbytes, traffic_class=traffic_class)
+            metrics.inc("net_blocked_cycles", blocked,
+                        traffic_class=traffic_class)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("net"):
+            tracer.emit("net", node=src, track="net", action=traffic_class,
+                        dst=dst, bytes=nbytes, hops=len(path),
+                        blocked=blocked, begin=start,
+                        dur=self.sim.now - start)
 
     def link_utilization(self) -> float:
         """Mean utilization across all links."""

@@ -92,6 +92,7 @@ class AutomaticUpdateEngine:
         """
         capacity = self.combining_capacity_bytes
         nbytes = nwords * self.params.word_bytes
+        issued_before = self.updates_issued
         # Top up the most recent still-queued batch for the same page.
         if self._queue:
             tail = self._queue[-1]
@@ -113,6 +114,11 @@ class AutomaticUpdateEngine:
         self.sent_seq[dst] = seq
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("au_update_batches",
+                        self.updates_issued - issued_before,
+                        node=self.nic.node_id)
         return max(seq, self.sent_seq.get(dst, 0))
 
     def flush(self):
@@ -121,10 +127,21 @@ class AutomaticUpdateEngine:
         Used at lock releases: AURC must ensure its updates are visible
         (or at least stamped) before passing ownership.
         """
+        start = self.sim.now
         while self._queue or self._in_flight:
             done = Event(self.sim)
             self._idle_waiters.append(done)
             yield done
+        waited = self.sim.now - start
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("au_flushes", node=self.nic.node_id)
+            metrics.inc("au_flush_wait_cycles", waited,
+                        node=self.nic.node_id)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("au"):
+            tracer.emit("au", node=self.nic.node_id, track="nic",
+                        action="flush", begin=start, dur=waited)
 
     # -- consumer side --------------------------------------------------------
 
@@ -162,6 +179,12 @@ class AutomaticUpdateEngine:
         nwords = max(1, batch.nbytes // self.params.word_bytes)
         yield from dst_nic.memory.access(nwords)
         self.update_bytes += batch.nbytes
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("au"):
+            tracer.emit("au", node=batch.dst, track="nic",
+                        action="deliver", src=self.nic.node_id,
+                        page=batch.page, bytes=batch.nbytes,
+                        seq=batch.seq)
         engine = dst_nic.au_engine
         src = self.nic.node_id
         if batch.seq > engine.received_seq.get(src, 0):
@@ -232,6 +255,17 @@ class NetworkInterface:
         yield from self.pci.transfer(nbytes)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("nic_messages", node=self.node_id,
+                        traffic_class=traffic_class)
+            metrics.inc("nic_bytes", nbytes, node=self.node_id,
+                        traffic_class=traffic_class)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.emit("msg", node=self.node_id, track="nic",
+                        action=type(payload).__name__, dst=dst,
+                        bytes=nbytes, traffic_class=traffic_class)
         self.sim.process(self._fly(dst, payload, nbytes, traffic_class),
                          name=f"msg{self.node_id}->{dst}")
 

@@ -8,6 +8,8 @@ section 4 maps experiment ids to these functions.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.apps.barnes import Barnes
@@ -64,7 +66,24 @@ def _run(name: str, nprocs: int, config: ProtocolConfig,
          params: Optional[MachineParams] = None,
          quick: bool = False, verify: bool = False) -> RunResult:
     app = scaled_app(name, nprocs, quick)
-    return run_app(app, config, params=params, verify=verify)
+    report_dir = os.environ.get("REPRO_REPORT_DIR", "")
+    result = run_app(app, config, params=params, verify=verify,
+                     metrics=bool(report_dir))
+    if report_dir:
+        _archive_report(report_dir, name, nprocs, config, result)
+    return result
+
+
+def _archive_report(report_dir: str, name: str, nprocs: int,
+                    config: ProtocolConfig, result: RunResult) -> None:
+    """Write one RunReport JSON per simulation into ``report_dir``."""
+    from repro.stats.report import RunReport
+
+    os.makedirs(report_dir, exist_ok=True)
+    slug = config.label.replace("/", "-").replace("+", "")
+    path = os.path.join(report_dir, f"{name}-{slug}-{nprocs}p.json")
+    with open(path, "w") as fh:
+        json.dump(RunReport(result).to_json(), fh)
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,10 @@ from repro.hardware.network import NetworkStats
 from repro.hardware.node import Cluster
 from repro.hardware.params import MachineParams
 from repro.sim import AllOf, Simulator
+from repro.sim.trace import DEFAULT_CATEGORIES, Tracer
 from repro.stats.breakdown import Category, TimeBreakdown
+from repro.stats.metrics import MetricsRegistry
+from repro.stats.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 
 __all__ = ["ProtocolConfig", "RunResult", "run_app"]
 
@@ -73,6 +76,8 @@ class RunResult:
     lock_stats: object = None
     barrier_stats: object = None
     verified: bool = False
+    tracer: object = None            # Tracer when run with trace=True
+    metrics: object = None           # MetricsRegistry when metrics=True
 
     @property
     def merged_breakdown(self) -> TimeBreakdown:
@@ -127,20 +132,41 @@ def _build_protocol(config: ProtocolConfig, sim: Simulator,
 
 def run_app(app, config: ProtocolConfig,
             params: Optional[MachineParams] = None,
-            verify: bool = True) -> RunResult:
+            verify: bool = True,
+            trace: bool = False,
+            metrics: bool = False,
+            trace_limit: int = 500_000,
+            sample_interval: float = DEFAULT_SAMPLE_INTERVAL) -> RunResult:
     """Simulate ``app`` under ``config``; returns the :class:`RunResult`.
 
     ``app.nprocs`` fixes the processor count; ``params`` (if given) must
     agree or is adjusted via ``replace``.
+
+    ``trace=True`` attaches a :class:`Tracer` (all default categories,
+    capped at ``trace_limit`` events) and ``metrics=True`` a
+    :class:`MetricsRegistry` plus a periodic :class:`Sampler`; both end
+    up on the result (``result.tracer`` / ``result.metrics``).  With
+    both off -- the default -- no observability object is created and
+    the simulation pays only a None-check per emit site.
     """
     params = params or MachineParams()
     if params.n_processors != app.nprocs:
         params = params.replace(n_processors=app.nprocs)
     sim = Simulator()
+    if trace:
+        tracer = Tracer(sim, limit=trace_limit)
+        tracer.enable(*DEFAULT_CATEGORIES)
+        sim.tracer = tracer
+    if metrics:
+        sim.metrics = MetricsRegistry()
     cluster = Cluster(sim, params, with_controller=config.needs_controller)
     segment = SharedSegment(params)
     app.allocate(segment)
     protocol = _build_protocol(config, sim, cluster, params, segment)
+    sampler = None
+    if metrics:
+        sampler = Sampler(sim, sim.metrics, cluster, protocol,
+                          interval=sample_interval)
 
     done_events = []
     for pid in range(app.nprocs):
@@ -149,6 +175,8 @@ def run_app(app, config: ProtocolConfig,
             cluster[pid].cpu.start(app.worker(api, pid),
                                    name=f"{app.name}-w{pid}"))
     sim.run(until=AllOf(sim, done_events))
+    if sampler is not None:
+        sampler.stop()
 
     finish_times = [cluster[pid].cpu.finished_at or sim.now
                     for pid in range(app.nprocs)]
@@ -173,6 +201,8 @@ def run_app(app, config: ProtocolConfig,
         and protocol.locks.stats,
         barrier_stats=getattr(protocol, "barriers", None)
         and protocol.barriers.stats,
+        tracer=sim.tracer,
+        metrics=sim.metrics,
     )
 
     if verify:

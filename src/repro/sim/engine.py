@@ -305,6 +305,15 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Observability attachment points.  Instrumented components read
+        # these and emit only when non-None (tracer additionally gated
+        # per category via `wants`), so a bare simulator pays a single
+        # attribute check per potential emission.  The harness attaches
+        # a `repro.sim.trace.Tracer` / `repro.stats.metrics
+        # .MetricsRegistry` when observability is requested; typed as
+        # Any to keep the kernel free of upward imports.
+        self.tracer: Optional[Any] = None
+        self.metrics: Optional[Any] = None
 
     # -- event construction helpers --------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.sim.engine import Event, Simulator
 
@@ -45,6 +45,7 @@ class Resource:
       utilization.
     * ``wait_time`` -- total time requests spent queued before grant.
     * ``total_requests`` -- number of grants issued.
+    * ``peak_queue_length`` -- high-water mark of the pending queue.
     """
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
@@ -58,6 +59,7 @@ class Resource:
         self.busy_time: float = 0.0
         self.wait_time: float = 0.0
         self.total_requests: int = 0
+        self.peak_queue_length: int = 0
         self._last_change: float = sim.now
 
     # -- statistics -------------------------------------------------------
@@ -84,6 +86,8 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         req = Request(self, priority)
         self._enqueue(req)
+        self.peak_queue_length = max(self.peak_queue_length,
+                                     self.queue_length)
         self._grant()
         return req
 
@@ -210,6 +214,13 @@ class PriorityStore(Store):
 
     def _next_item(self) -> Any:
         return heapq.heappop(self._heap)[2]
+
+    def depth_by_priority(self) -> Dict[int, int]:
+        """Current queue depth per priority level (for the sampler)."""
+        out: Dict[int, int] = {}
+        for priority, _seq, _item in self._heap:
+            out[priority] = out.get(priority, 0) + 1
+        return out
 
     def _dispatch(self) -> None:
         while self._heap and self._getters:

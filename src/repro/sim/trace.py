@@ -28,7 +28,13 @@ from typing import Any, Dict, Iterator, List, Optional, Set
 
 from repro.sim.engine import Simulator
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "DEFAULT_CATEGORIES"]
+
+# The categories the observability layer emits; `repro run --trace`
+# enables all of them.  Custom categories remain fine -- this tuple is
+# a convenience, not a registry.
+DEFAULT_CATEGORIES = ("fault", "diff", "notice", "prefetch", "lock",
+                      "barrier", "ctrl", "msg", "net", "au")
 
 
 @dataclass(frozen=True)
@@ -40,6 +46,12 @@ class TraceEvent:
     payload: Dict[str, Any] = field(default_factory=dict)
 
     def __getattr__(self, name: str) -> Any:
+        # Underscore/dunder lookups (pickle's __reduce_ex__ probes,
+        # copy's __deepcopy__, ...) must never resolve through
+        # `self.payload`: during unpickling/copying `payload` is not yet
+        # set, and `self.payload` would re-enter __getattr__ forever.
+        if name.startswith("_") or name == "payload":
+            raise AttributeError(name)
         try:
             return self.payload[name]
         except KeyError:

@@ -1,5 +1,19 @@
-"""Execution-time accounting and report generation."""
+"""Execution-time accounting, metrics, sampling, and report generation."""
 
 from repro.stats.breakdown import Category, TimeBreakdown
+from repro.stats.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.stats.report import RunReport
+from repro.stats.sampler import DEFAULT_SAMPLE_INTERVAL, Sampler
 
-__all__ = ["Category", "TimeBreakdown"]
+__all__ = [
+    "Category", "TimeBreakdown",
+    "Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
+    "RunReport",
+    "Sampler", "DEFAULT_SAMPLE_INTERVAL",
+]

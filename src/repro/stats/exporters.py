@@ -1,0 +1,142 @@
+"""Trace export/import: JSONL and Chrome trace-event JSON (Perfetto).
+
+Two on-disk formats for a :class:`~repro.sim.trace.Tracer`'s events:
+
+* **JSONL** -- one JSON object per line (``{"t": ..., "cat": ...,
+  <payload>}``), trivially greppable and streamable.
+* **Chrome trace-event JSON** -- the ``{"traceEvents": [...]}`` schema
+  that chrome://tracing and https://ui.perfetto.dev load directly.
+  Events are placed one track per (node, component): ``pid`` is the
+  node id (from the event's ``node`` payload key) and ``tid`` the
+  component track (cpu / controller / nic / network), so a loaded trace
+  shows each workstation's processor, protocol controller, and NIC as
+  separate swimlanes.  Events carrying a ``dur`` payload become
+  complete ("X") spans starting at their ``begin`` time; the rest are
+  thread-scoped instants ("i").  Timestamps convert from cycles to
+  microseconds at the Table-1 clock (1 cycle = 10 ns).
+
+Loaders for both formats feed the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.hardware.params import CYCLE_NS
+
+__all__ = [
+    "trace_to_jsonl", "trace_to_chrome", "write_trace",
+    "load_trace_file", "summarize_events",
+]
+
+_US_PER_CYCLE = CYCLE_NS / 1000.0
+
+# Component track ids within one node's process group.
+_TRACKS = {"cpu": 0, "ctrl": 1, "nic": 2, "net": 3}
+_TRACK_NAMES = {0: "cpu", 1: "controller", 2: "nic", 3: "network"}
+
+# Default track per category for events that do not say.
+_CATEGORY_TRACKS = {
+    "ctrl": "ctrl",
+    "msg": "nic",
+    "au": "nic",
+    "net": "net",
+}
+
+# Payload keys consumed by the exporter itself rather than shown as args.
+_STRUCTURAL_KEYS = ("node", "track", "begin", "dur")
+
+
+def trace_to_jsonl(tracer) -> str:
+    """Render the tracer's events as one JSON object per line."""
+    lines = []
+    for event in tracer.events:
+        doc = {"t": event.time, "cat": event.category}
+        doc.update(event.payload)
+        lines.append(json.dumps(doc, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_to_chrome(tracer) -> Dict[str, Any]:
+    """Render the tracer's events as a Chrome trace-event document."""
+    trace_events: List[Dict[str, Any]] = []
+    seen_tracks = set()
+    for event in tracer.events:
+        payload = event.payload
+        pid = int(payload.get("node", 0))
+        track = payload.get("track") or _CATEGORY_TRACKS.get(
+            event.category, "cpu")
+        tid = _TRACKS.get(track, 0)
+        seen_tracks.add((pid, tid))
+        name = payload.get("action", event.category)
+        record: Dict[str, Any] = {
+            "name": f"{event.category}:{name}" if "action" in payload
+            else event.category,
+            "cat": event.category,
+            "pid": pid,
+            "tid": tid,
+            "args": {k: v for k, v in payload.items()
+                     if k not in _STRUCTURAL_KEYS},
+        }
+        if "dur" in payload:
+            begin = payload.get("begin", event.time - payload["dur"])
+            record.update(ph="X", ts=begin * _US_PER_CYCLE,
+                          dur=max(payload["dur"], 0.0) * _US_PER_CYCLE)
+        else:
+            record.update(ph="i", ts=event.time * _US_PER_CYCLE, s="t")
+        trace_events.append(record)
+    meta: List[Dict[str, Any]] = []
+    for pid in sorted({p for p, _ in seen_tracks}):
+        meta.append({"ph": "M", "pid": pid, "tid": 0,
+                     "name": "process_name",
+                     "args": {"name": f"node{pid}"}})
+    for pid, tid in sorted(seen_tracks):
+        meta.append({"ph": "M", "pid": pid, "tid": tid,
+                     "name": "thread_name",
+                     "args": {"name": _TRACK_NAMES.get(tid, "cpu")}})
+    return {"traceEvents": meta + trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {"dropped_events": tracer.dropped,
+                          "clock": f"{CYCLE_NS:g} ns/cycle"}}
+
+
+def write_trace(tracer, path: str) -> None:
+    """Write the trace to ``path``: JSONL for ``.jsonl``, Chrome JSON
+    otherwise."""
+    if path.endswith(".jsonl"):
+        with open(path, "w") as fh:
+            fh.write(trace_to_jsonl(tracer))
+    else:
+        with open(path, "w") as fh:
+            json.dump(trace_to_chrome(tracer), fh)
+
+
+def load_trace_file(path: str) -> List[Dict[str, Any]]:
+    """Load either trace format back into a flat list of event dicts.
+
+    Chrome documents come back as their ``traceEvents`` (metadata "M"
+    records filtered out); JSONL comes back as the parsed lines.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # Multiple top-level values: JSONL.
+        return [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents", [])
+        return [e for e in events if e.get("ph") != "M"]
+    # A single-line JSONL file parses as one object.
+    return [doc] if doc else []
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Event counts by category (works for both loaded formats)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        cat = event.get("cat", event.get("category", "?"))
+        counts[cat] = counts.get(cat, 0) + 1
+    return dict(sorted(counts.items()))

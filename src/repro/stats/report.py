@@ -15,7 +15,7 @@ from repro.hardware.params import CYCLE_NS
 from repro.stats.breakdown import Category
 
 __all__ = ["format_run", "format_comparison", "speedup_table",
-           "breakdown_bar"]
+           "breakdown_bar", "RunReport"]
 
 _BAR_WIDTH = 40
 _CATEGORY_GLYPHS = {
@@ -110,6 +110,41 @@ def format_comparison(results: Sequence, baseline_index: int = 0) -> str:
             f"  {result.protocol_label:12s} {pct:7.1f}%  "
             f"[{breakdown_bar(merged, width=30)}]")
     return "\n".join(lines)
+
+
+class RunReport:
+    """Machine-readable report of one run: result + metrics + trace summary.
+
+    Duck-typed on the result object (anything with ``to_json()``); the
+    tracer and registry are optional so a plain ``run_app`` result still
+    produces a valid -- if sparse -- report.  Schema is versioned so
+    downstream consumers (benchmark archives, plotting scripts) can
+    detect incompatible changes.
+    """
+
+    SCHEMA = "repro-run-report/1"
+
+    def __init__(self, result, tracer=None, metrics=None):
+        self.result = result
+        self.tracer = tracer if tracer is not None \
+            else getattr(result, "tracer", None)
+        self.metrics = metrics if metrics is not None \
+            else getattr(result, "metrics", None)
+
+    def to_json(self) -> dict:
+        doc = {
+            "schema": self.SCHEMA,
+            "run": self.result.to_json(),
+        }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics.to_json()
+        if self.tracer is not None:
+            doc["trace"] = {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+                "counts": self.tracer.counts(),
+            }
+        return doc
 
 
 def speedup_table(serial_cycles: float,

@@ -45,3 +45,58 @@ def test_figure_overlap_with_app(capsys):
 def test_unknown_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "Nope"])
+
+
+def test_figure_12_is_alias_for_11(capsys):
+    assert main(["figure", "12", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "TM/I+D" in out and "AURC" in out
+
+
+def test_run_with_trace_and_metrics_files(tmp_path, capsys):
+    import json
+
+    trace_file = str(tmp_path / "trace.json")
+    metrics_file = str(tmp_path / "metrics.json")
+    code = main(["run", "Em3d", "--protocol", "I+D", "--procs", "4",
+                 "--quick", "--trace", trace_file,
+                 "--metrics", metrics_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "metrics report" in out
+
+    with open(trace_file) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
+    assert all({"ph", "pid", "tid"} <= set(e) for e in doc["traceEvents"])
+
+    with open(metrics_file) as fh:
+        report = json.load(fh)
+    assert report["schema"] == "repro-run-report/1"
+    assert report["run"]["app"] == "Em3d"
+    assert report["metrics"]["counters"]
+
+    # The companion subcommands read those files back.
+    assert main(["metrics", metrics_file]) == 0
+    out = capsys.readouterr().out
+    assert "counters (summed over labels):" in out and "series:" in out
+
+    assert main(["trace", trace_file, "--category", "fault",
+                 "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fault" in out
+
+
+def test_metrics_command_rejects_plain_json(tmp_path, capsys):
+    path = tmp_path / "not-a-report.json"
+    path.write_text('{"hello": 1}')
+    assert main(["metrics", str(path)]) == 1
+    assert "no metrics section" in capsys.readouterr().out
+
+
+def test_run_without_flags_prints_no_observability(capsys):
+    code = main(["run", "Em3d", "--protocol", "I+D", "--procs", "2",
+                 "--quick", "--no-verify"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace:" not in out and "metrics report" not in out

@@ -228,3 +228,118 @@ def test_multiple_getters_fifo():
     store.put("second")
     sim.run()
     assert got == [("c1", "first"), ("c2", "second")]
+
+
+# -- contention statistics --------------------------------------------------
+
+
+def test_utilization_with_explicit_elapsed():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def user(hold):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(user(10))
+    sim.process(user(30))
+    sim.run()
+    # 40 busy capacity-cycles over a 40-cycle window of capacity 2.
+    assert sim.now == 30
+    assert res.utilization(elapsed=40) == pytest.approx(40 / (40 * 2))
+    # Default window is sim.now.
+    assert res.utilization() == pytest.approx(40 / (30 * 2))
+    # Degenerate window.
+    assert res.utilization(elapsed=0) == 0.0
+
+
+def test_priority_wait_time_accounts_preemption():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    waits = {}
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def user(tag, prio, delay, hold):
+        yield sim.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        waits[tag] = sim.now - delay
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(holder())
+    # The prefetch arrives first but is overtaken by the urgent request,
+    # so its wait includes the urgent user's whole service time.
+    sim.process(user("prefetch", 1, 1, 5))
+    sim.process(user("urgent", 0, 2, 4))
+    sim.run()
+    assert waits["urgent"] == 8       # rest of the holder's service
+    assert waits["prefetch"] == 13    # holder (9) + urgent (4)
+    assert res.wait_time == pytest.approx(8 + 13)
+
+
+def test_peak_queue_length_high_water_mark():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(delay):
+        yield sim.timeout(delay)
+        req = res.request()
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    for delay in (0, 1, 2, 3):
+        sim.process(user(delay))
+    sim.run()
+    # Three users queued behind the first before any release.
+    assert res.peak_queue_length == 3
+    assert res.queue_length == 0
+
+
+def test_priority_resource_peak_queue_length():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def waiter(prio):
+        yield sim.timeout(1)
+        req = res.request(priority=prio)
+        yield req
+        res.release(req)
+
+    sim.process(holder())
+    for prio in (1, 0, 1):
+        sim.process(waiter(prio))
+    sim.run()
+    assert res.peak_queue_length == 3
+
+
+def test_priority_store_depth_by_priority():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    store.put("u1", priority=0)
+    store.put("r1", priority=1)
+    store.put("p1", priority=2)
+    store.put("p2", priority=2)
+    assert store.depth_by_priority() == {0: 1, 1: 1, 2: 2}
+
+    def consumer():
+        item = yield store.get()
+        assert item == "u1"
+
+    sim.process(consumer())
+    sim.run()
+    assert store.depth_by_priority() == {1: 1, 2: 2}

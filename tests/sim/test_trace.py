@@ -100,3 +100,29 @@ def test_dump_renders_lines(rig):
     tracer.emit("a", k=2)
     dump = tracer.dump()
     assert dump.count("\n") == 1 and "k=2" in dump
+
+
+def test_event_pickle_round_trip():
+    import pickle
+
+    event = TraceEvent(5.0, "fault", {"page": 3, "node": 1})
+    clone = pickle.loads(pickle.dumps(event))
+    assert clone == event
+    assert clone.page == 3 and clone.node == 1
+
+
+def test_event_deepcopy():
+    import copy
+
+    event = TraceEvent(5.0, "fault", {"page": 3})
+    clone = copy.deepcopy(event)
+    assert clone == event and clone.payload is not event.payload
+
+
+def test_event_underscore_lookup_raises_cleanly():
+    event = TraceEvent(5.0, "fault", {"_private": 1, "payload": 2})
+    # Underscore names and "payload" never resolve through the payload
+    # dict (that path is what used to recurse under pickle/deepcopy).
+    with pytest.raises(AttributeError):
+        _ = event._private
+    assert event.payload == {"_private": 1, "payload": 2}

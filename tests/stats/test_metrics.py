@@ -1,0 +1,109 @@
+"""MetricsRegistry instruments and serialization."""
+
+import pytest
+
+from repro.stats.metrics import (
+    DIFF_WORDS_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_labels_are_distinct_instruments():
+    reg = MetricsRegistry()
+    reg.inc("faults", node=0)
+    reg.inc("faults", node=0)
+    reg.inc("faults", node=1)
+    assert reg.counter("faults", node=0).value == 2
+    assert reg.counter("faults", node=1).value == 1
+    assert len(reg.all("counter", "faults")) == 2
+
+
+def test_counter_rejects_decrement():
+    counter = Counter("x", ())
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_last_value_wins():
+    reg = MetricsRegistry()
+    reg.set_gauge("depth", 4, node=2)
+    reg.set_gauge("depth", 7, node=2)
+    assert reg.gauge("depth", node=2).value == 7
+
+
+def test_histogram_bucketing_and_stats():
+    hist = Histogram("lat", (), buckets=(10, 100, 1000))
+    for value in (5, 10, 50, 5000):
+        hist.observe(value)
+    # bisect_left: 5->b0, 10->b0 (boundary inclusive), 50->b1, 5000->overflow
+    assert hist.counts == [2, 1, 0, 1]
+    assert hist.count == 4
+    assert hist.sum == 5065
+    assert hist.min == 5 and hist.max == 5000
+    assert hist.mean == pytest.approx(5065 / 4)
+    assert hist.quantile(0.5) == 10
+    assert hist.quantile(1.0) == 5000
+
+
+def test_histogram_rejects_unsorted_or_empty_bounds():
+    with pytest.raises(ValueError):
+        Histogram("x", (), buckets=(10, 5))
+    with pytest.raises(ValueError):
+        Histogram("x", (), buckets=())
+
+
+def test_histogram_quantile_range_check():
+    hist = Histogram("x", (), buckets=(1,))
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    assert hist.quantile(0.5) == 0.0  # empty histogram
+
+
+def test_series_appends_in_order():
+    reg = MetricsRegistry()
+    reg.sample("occ", 10.0, 0.5, node=0)
+    reg.sample("occ", 20.0, 0.7, node=0)
+    series = reg.series("occ", node=0)
+    assert series.times == [10.0, 20.0]
+    assert series.values == [0.5, 0.7]
+    assert len(series) == 2
+
+
+def test_disabled_registry_records_nothing():
+    reg = MetricsRegistry(enabled=False)
+    reg.inc("faults", node=0)
+    reg.set_gauge("g", 1)
+    reg.observe("h", 5)
+    reg.sample("s", 1.0, 2.0)
+    assert len(reg) == 0
+
+
+def test_to_json_round_trip_shape():
+    reg = MetricsRegistry()
+    reg.inc("faults", 3, node=0)
+    reg.set_gauge("depth", 2, node=1)
+    reg.observe("words", 17, buckets=DIFF_WORDS_BUCKETS, action="create")
+    reg.sample("occ", 10.0, 0.25, node=0)
+    doc = reg.to_json()
+    assert {c["name"]: c["value"] for c in doc["counters"]} == {"faults": 3}
+    assert doc["counters"][0]["labels"] == {"node": 0}
+    assert doc["gauges"][0]["value"] == 2
+    hist = doc["histograms"][0]
+    assert hist["count"] == 1 and hist["sum"] == 17
+    assert hist["buckets"] == list(DIFF_WORDS_BUCKETS)
+    assert sum(hist["counts"]) == 1
+    series = doc["series"][0]
+    assert series["times"] == [10.0] and series["values"] == [0.25]
+
+
+def test_all_filters_by_kind_and_name():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.inc("b")
+    reg.observe("a", 1)
+    assert len(reg.all()) == 3
+    assert len(reg.all("counter")) == 2
+    assert len(reg.all("counter", "a")) == 1
+    assert len(reg.all("histogram", "a")) == 1
