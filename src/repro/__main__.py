@@ -14,11 +14,24 @@ Commands
     alias for 11 -- the paper presents the TreadMarks/AURC comparison
     as figures 11 and 12) and print the table.
 
+``analyze APP``
+    Run one application with request-lifecycle spans enabled and print
+    the causal analysis: critical-path intervals, stall decomposition,
+    and top-N blame tables (hottest pages, most-contended locks,
+    most-blamed peers), cross-checked against the charged time
+    breakdown.  ``--flamegraph FILE`` writes collapsed stacks for
+    flamegraph.pl / speedscope; ``--json FILE`` writes the analysis as
+    JSON; ``--trace FILE`` also saves the raw trace.
+
 ``metrics FILE``
     Summarize a JSON run report written by ``run --metrics``.
 
 ``trace FILE``
     Summarize (or dump) a trace file written by ``run --trace``.
+
+``validate FILE...``
+    Check report/benchmark JSON files against their declared schema;
+    exits nonzero if any file is invalid.
 
 ``list``
     List applications, overlap modes, and protocols.
@@ -29,10 +42,12 @@ Examples::
     python -m repro run Water --protocol aurc --prefetch
     python -m repro run Em3d --protocol I+D --quick \\
         --trace /tmp/em3d.json --metrics /tmp/em3d-metrics.json
+    python -m repro analyze Em3d --protocol I+P+D --quick --procs 4
     python -m repro figure 1 --quick
     python -m repro figure 5 --app Ocean
     python -m repro metrics /tmp/em3d-metrics.json
     python -m repro trace /tmp/em3d.json --category fault --limit 20
+    python -m repro validate BENCH_pr2.json /tmp/em3d-metrics.json
 """
 
 from __future__ import annotations
@@ -46,10 +61,11 @@ from repro.harness import experiments, figures
 from repro.harness.runner import ProtocolConfig, run_app
 from repro.stats.exporters import (
     load_trace_file,
+    load_trace_meta,
     summarize_events,
     write_trace,
 )
-from repro.stats.report import RunReport, format_run
+from repro.stats.report import RunReport, format_run, validate_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,6 +108,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: the figure's own app)")
     fig_p.add_argument("--quick", action="store_true")
 
+    an_p = sub.add_parser(
+        "analyze",
+        help="run one application and print the causal span analysis")
+    an_p.add_argument("app", choices=experiments.APP_ORDER)
+    an_p.add_argument("--protocol", default="I+P+D",
+                      help="an overlap mode (Base, I, I+D, P, I+P, "
+                           "I+P+D) or 'aurc' (default: I+P+D)")
+    an_p.add_argument("--prefetch", action="store_true",
+                      help="AURC only: enable page prefetching")
+    an_p.add_argument("--procs", type=int, default=4)
+    an_p.add_argument("--quick", action="store_true",
+                      help="reduced problem size")
+    an_p.add_argument("--top", type=int, default=5,
+                      help="rows per blame table (default: 5)")
+    an_p.add_argument("--flamegraph", metavar="FILE", default=None,
+                      help="write collapsed stacks for flamegraph.pl "
+                           "or speedscope to FILE")
+    an_p.add_argument("--json", metavar="FILE", default=None,
+                      help="write the analysis as JSON to FILE")
+    an_p.add_argument("--trace", metavar="FILE", default=None,
+                      help="also save the raw trace to FILE")
+
     met_p = sub.add_parser("metrics",
                            help="summarize a JSON run report")
     met_p.add_argument("file", help="report written by run --metrics")
@@ -103,6 +141,13 @@ def _build_parser() -> argparse.ArgumentParser:
     tr_p.add_argument("--limit", type=int, default=0,
                       help="print up to N individual events (default: "
                            "summary only)")
+
+    val_p = sub.add_parser(
+        "validate",
+        help="check report/benchmark JSON files against their schema")
+    val_p.add_argument("files", nargs="+",
+                       help="JSON files written by run --metrics or "
+                            "the benchmark harness")
 
     sub.add_parser("list", help="list applications and protocols")
     return parser
@@ -133,6 +178,38 @@ def _cmd_run(args) -> int:
         with open(args.metrics, "w") as fh:
             json.dump(report.to_json(), fh)
         print(f"metrics report -> {args.metrics}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if args.protocol.lower() == "aurc":
+        config = ProtocolConfig.aurc(prefetch=args.prefetch)
+    else:
+        config = ProtocolConfig.treadmarks(args.protocol)
+    app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
+    result = run_app(app, config, verify=False, trace=True, metrics=True,
+                     trace_limit=2_000_000)
+    from repro.stats.causal import analyze_run
+    analysis = analyze_run(result)
+    print(format_run(result))
+    print()
+    print(analysis.format_report(top=args.top,
+                                 breakdowns=result.breakdowns))
+    if result.tracer.dropped:
+        print(f"warning: trace dropped {result.tracer.dropped} events; "
+              f"the analysis above is an undercount", file=sys.stderr)
+    if args.flamegraph is not None:
+        with open(args.flamegraph, "w") as fh:
+            fh.write("\n".join(analysis.collapsed_stacks()) + "\n")
+        print(f"collapsed stacks -> {args.flamegraph}")
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(analysis.to_json(top=args.top), fh)
+        print(f"analysis JSON -> {args.json}")
+    if args.trace is not None:
+        write_trace(result.tracer, args.trace)
+        print(f"trace: {len(result.tracer.events)} events "
+              f"({result.tracer.dropped} dropped) -> {args.trace}")
     return 0
 
 
@@ -213,6 +290,8 @@ def _cmd_metrics(args) -> int:
     if "trace" in doc:
         tr = doc["trace"]
         print(f"trace: {tr['events']} events ({tr['dropped']} dropped)")
+    for warning in doc.get("warnings", []):
+        print(f"warning: {warning}")
     if metrics is None:
         print("no metrics section in this file")
         return 1
@@ -262,12 +341,38 @@ def _cmd_trace(args) -> int:
                   if e.get("cat", e.get("category")) == args.category]
     counts = summarize_events(events)
     print(f"{len(events)} events in {args.file}")
+    meta = load_trace_meta(args.file)
+    dropped = meta.get("dropped", 0)
+    if dropped:
+        print(f"warning: {dropped} events were dropped at record time; "
+              f"this trace is incomplete")
     for cat, count in counts.items():
         print(f"  {cat:12s} {count}")
     if args.limit > 0:
         for event in events[:args.limit]:
             print(json.dumps(event, default=str))
     return 0
+
+
+def _cmd_validate(args) -> int:
+    failures = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: INVALID (cannot read: {exc})")
+            failures += 1
+            continue
+        problems = validate_report(doc)
+        if problems:
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+            failures += 1
+        else:
+            print(f"{path}: ok ({doc.get('schema')})")
+    return 1 if failures else 0
 
 
 def _cmd_list(_args) -> int:
@@ -282,12 +387,16 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     return _cmd_list(args)
 
 

@@ -347,20 +347,24 @@ class Aurc(DsmProtocol):
     def handle_message(self, node: Node, msg: Message) -> None:
         if isinstance(msg, LockRequest):
             node.cpu.post_service(
-                "lock-req", lambda: self.locks.handle_request(node, msg))
+                "lock-req", lambda: self.locks.handle_request(node, msg),
+                req=msg.req)
         elif isinstance(msg, LockForward):
             node.cpu.post_service(
-                "lock-fwd", lambda: self.locks.handle_forward(node, msg))
+                "lock-fwd", lambda: self.locks.handle_forward(node, msg),
+                req=msg.req)
         elif isinstance(msg, LockGrant):
             self.locks.handle_grant(node, msg)
         elif isinstance(msg, BarrierArrive):
             node.cpu.post_service(
-                "bar-arrive", lambda: self.barriers.handle_arrive(node, msg))
+                "bar-arrive", lambda: self.barriers.handle_arrive(node, msg),
+                req=msg.req)
         elif isinstance(msg, BarrierRelease):
             self.barriers.handle_release(node, msg)
         elif isinstance(msg, AurcPageRequest):
             node.cpu.post_service(
-                "page-fetch", lambda: self._serve_fetch(node, msg))
+                "page-fetch", lambda: self._serve_fetch(node, msg),
+                req=msg.token)
         elif isinstance(msg, AurcPageReply):
             self._handle_reply(node, msg)
         else:
@@ -426,14 +430,19 @@ class Aurc(DsmProtocol):
 
     def proc_release(self, pid: int, lock: int):
         node = self.cluster[pid]
+        start = self.sim.now
         yield from node.cpu.run_generator(
             self._end_interval(node), Category.SYNC)
         yield from self.locks.release(node, lock)
+        self.note_sync_span(node, "lock", "release", start, lock=lock)
 
     def proc_barrier(self, pid: int, barrier: int):
         node = self.cluster[pid]
+        start = self.sim.now
         yield from node.cpu.run_generator(
             self._end_interval(node), Category.SYNC)
+        self.note_sync_span(node, "barrier", "interval", start,
+                            barrier=barrier)
         yield from self.barriers.wait(node, barrier)
 
     # ------------------------------------------------------------------
@@ -583,6 +592,8 @@ class Aurc(DsmProtocol):
         """Processor-context generator: make ``ap`` valid (charges DATA)."""
         self.stats.faults += 1
         fault_start = self.sim.now
+        sid = self.new_span_id()
+        prev_stall = self.set_stall(node.node_id, sid) if sid else 0
         if ap.prefetch_event is not None:
             self.stats.prefetch.late += 1
             note_prefetch(self.sim, node.node_id, "late", ap.page)
@@ -609,6 +620,8 @@ class Aurc(DsmProtocol):
                 continue
             yield from self._fetch_page(node, st, ap, authority,
                                         prefetch=False)
+        if sid:
+            self.set_stall(node.node_id, prev_stall)
         elapsed = self.sim.now - fault_start
         metrics = self.sim.metrics
         if metrics is not None:
@@ -617,7 +630,8 @@ class Aurc(DsmProtocol):
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("fault"):
             tracer.emit("fault", node=node.node_id, action="access",
-                        page=ap.page, begin=fault_start, dur=elapsed)
+                        page=ap.page, begin=fault_start, dur=elapsed,
+                        **({"req": sid} if sid else {}))
 
     def _drain_wait(self, node: Node, writer: int, seq: int, gate: Event):
         yield from node.nic.au_engine.wait_for(writer, seq)
@@ -642,6 +656,7 @@ class Aurc(DsmProtocol):
         request = AurcPageRequest(
             requester=pid, page=ap.page, token=token,
             stamps=wait_stamps, prefetch=prefetch)
+        self.note_issue(node, authority, request)
         yield from node.cpu.run_generator(
             self.send(node, authority, request), Category.DATA)
         reply: AurcPageReply = yield from node.cpu.wait(done, Category.DATA)
@@ -749,7 +764,7 @@ class Aurc(DsmProtocol):
                 self._install(node, ap, msg, covered)
                 self.complete_pending(msg.token, msg)
             node.cpu.post_service("pf-install", apply_work,
-                                  category=Category.DATA)
+                                  category=Category.DATA, req=msg.token)
         else:
             self.complete_pending(msg.token, msg)
 
@@ -786,6 +801,7 @@ class Aurc(DsmProtocol):
             request = AurcPageRequest(requester=pid, page=ap.page,
                                       token=token, stamps=stamps,
                                       prefetch=True)
+            self.note_issue(node, authority, request)
             yield from self.send(node, authority, request)
             ap.prefetch_event = done
             ap.prefetch_issued_at = self.sim.now

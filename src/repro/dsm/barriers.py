@@ -47,6 +47,9 @@ class _ManagerBarrierState:
     epoch: int = 0
     arrived: int = 0
     payloads: List[Any] = field(default_factory=list)
+    # node -> request id of its arrival (tracing only); each node's
+    # release message carries its own wait span's id back.
+    reqs: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -86,12 +89,15 @@ class BarrierService:
         state = self._nstate(pid, barrier)
         state.epoch += 1
         start = self.sim.now
+        rid = self.protocol.new_span_id()
+        prev_stall = self.protocol.set_stall(pid, rid) if rid else 0
         state.waiting = Event(self.sim)
         manager = self.protocol.lock_manager(barrier)
         payload = self.protocol.barrier_arrive_payload(node)
         arrive = BarrierArrive(barrier=barrier, node=pid, epoch=state.epoch,
-                               payload=payload)
+                               payload=payload, req=rid)
         self.stats.arrivals += 1
+        self.protocol.note_issue(node, manager, arrive)
         yield from node.cpu.run_generator(
             self.protocol.send(node, manager, arrive), Category.SYNC)
         yield from node.cpu.wait(state.waiting, Category.SYNC)
@@ -101,6 +107,8 @@ class BarrierService:
         yield from node.cpu.run_generator(
             self.protocol.barrier_process_release(node, release_payload),
             Category.SYNC)
+        if rid:
+            self.protocol.set_stall(pid, prev_stall)
         elapsed = self.sim.now - start
         metrics = self.sim.metrics
         if metrics is not None:
@@ -110,7 +118,8 @@ class BarrierService:
         if tracer is not None and tracer.wants("barrier"):
             tracer.emit("barrier", node=node.node_id, action="wait",
                         barrier=barrier, epoch=state.epoch,
-                        begin=start, dur=elapsed)
+                        begin=start, dur=elapsed,
+                        **({"req": rid} if rid else {}))
 
     # -- the manager side -----------------------------------------------------------
 
@@ -126,6 +135,8 @@ class BarrierService:
                 f"arrived for epoch {msg.epoch}, manager at {mstate.epoch}")
         mstate.arrived += 1
         mstate.payloads.append(msg.payload)
+        if msg.req:
+            mstate.reqs[msg.node] = msg.req
         if mstate.arrived < self.protocol.n:
             return
         # Last arrival: merge coherence info and broadcast releases.
@@ -138,8 +149,10 @@ class BarrierService:
             tracer.emit("barrier", node=node.node_id, action="release",
                         barrier=msg.barrier, epoch=mstate.epoch)
         payloads = mstate.payloads
+        reqs = mstate.reqs
         mstate.arrived = 0
         mstate.payloads = []
+        mstate.reqs = {}
         merged = yield from self.protocol.barrier_merge(node, payloads)
         for dst in range(self.protocol.n):
             payload = self.protocol.barrier_release_payload(node, dst,
@@ -147,10 +160,11 @@ class BarrierService:
             if dst == node.node_id:
                 self._deliver_release(node, BarrierRelease(
                     barrier=msg.barrier, epoch=mstate.epoch,
-                    payload=payload))
+                    payload=payload, req=reqs.get(dst, 0)))
             else:
                 release = BarrierRelease(barrier=msg.barrier,
-                                         epoch=mstate.epoch, payload=payload)
+                                         epoch=mstate.epoch, payload=payload,
+                                         req=reqs.get(dst, 0))
                 yield from self.protocol.send(node, dst, release)
 
     def _deliver_release(self, node: Node, msg: BarrierRelease) -> None:

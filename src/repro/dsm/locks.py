@@ -56,8 +56,9 @@ class _NodeLockState:
     owner_here: bool = False
     waiting: Optional[Event] = None
     grant_payload: Any = None
-    # A forwarded successor waiting for our release: (requester, payload).
-    successor: Optional[Tuple[int, Any]] = None
+    # A forwarded successor waiting for our release:
+    # (requester, payload, request id).
+    successor: Optional[Tuple[int, Any, int]] = None
 
 
 @dataclass
@@ -109,6 +110,8 @@ class LockService:
             raise RuntimeError(f"node {pid} re-acquiring held lock {lock}")
         self.stats.acquires += 1
         start = self.sim.now
+        rid = self.protocol.new_span_id()
+        prev_stall = self.protocol.set_stall(pid, rid) if rid else 0
         if state.owner_here:
             # Cached ownership: no messages, no consistency actions needed
             # (we were the last releaser, our knowledge is current).
@@ -116,12 +119,16 @@ class LockService:
             self.stats.local_reacquires += 1
             yield from node.cpu.hold(self.params.page_state_change_cycles,
                                      Category.SYNC)
-            self._record_acquire(node, lock, start, cached=True)
+            if rid:
+                self.protocol.set_stall(pid, prev_stall)
+            self._record_acquire(node, lock, start, cached=True, rid=rid)
             return
         manager = self.protocol.lock_manager(lock)
         state.waiting = Event(self.sim)
         payload = self.protocol.lock_request_payload(node)
-        request = LockRequest(lock=lock, requester=pid, payload=payload)
+        request = LockRequest(lock=lock, requester=pid, payload=payload,
+                              req=rid)
+        self.protocol.note_issue(node, manager, request)
         yield from node.cpu.run_generator(
             self.protocol.send(node, manager, request), Category.SYNC)
         yield from node.cpu.wait(state.waiting, Category.SYNC)
@@ -133,10 +140,12 @@ class LockService:
         yield from node.cpu.run_generator(
             self.protocol.lock_process_grant(node, grant_payload),
             Category.SYNC)
-        self._record_acquire(node, lock, start, cached=False)
+        if rid:
+            self.protocol.set_stall(pid, prev_stall)
+        self._record_acquire(node, lock, start, cached=False, rid=rid)
 
     def _record_acquire(self, node: Node, lock: int, start: float,
-                        cached: bool) -> None:
+                        cached: bool, rid: int = 0) -> None:
         elapsed = self.sim.now - start
         metrics = self.sim.metrics
         if metrics is not None:
@@ -145,7 +154,8 @@ class LockService:
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("lock"):
             tracer.emit("lock", node=node.node_id, action="acquire",
-                        lock=lock, cached=cached, begin=start, dur=elapsed)
+                        lock=lock, cached=cached, begin=start, dur=elapsed,
+                        **({"req": rid} if rid else {}))
 
     def release(self, node: Node, lock: int):
         """Generator: release ``lock``, granting to a waiting successor."""
@@ -155,11 +165,11 @@ class LockService:
             raise RuntimeError(f"node {pid} releasing unheld lock {lock}")
         state.held = False
         if state.successor is not None:
-            requester, req_payload = state.successor
+            requester, req_payload, rid = state.successor
             state.successor = None
             state.owner_here = False
             yield from node.cpu.run_generator(
-                self._grant(node, lock, requester, req_payload),
+                self._grant(node, lock, requester, req_payload, rid),
                 Category.SYNC)
 
     # -- message handling -------------------------------------------------------
@@ -176,16 +186,17 @@ class LockService:
         if previous is None:
             # Manager is the initial owner: grant from here.
             yield from self._grant(node, msg.lock, msg.requester,
-                                   msg.payload)
+                                   msg.payload, msg.req)
         else:
             self.stats.forwards += 1
             tracer = self.sim.tracer
             if tracer is not None and tracer.wants("lock"):
                 tracer.emit("lock", node=node.node_id, action="forward",
                             lock=msg.lock, requester=msg.requester,
-                            to=previous)
+                            to=previous,
+                            **({"req": msg.req} if msg.req else {}))
             forward = LockForward(lock=msg.lock, requester=msg.requester,
-                                  payload=msg.payload)
+                                  payload=msg.payload, req=msg.req)
             yield from self.protocol.send(node, previous, forward)
 
     def handle_forward(self, node: Node, msg: LockForward):
@@ -195,12 +206,12 @@ class LockService:
         if state.owner_here and not state.held:
             state.owner_here = False
             yield from self._grant(node, msg.lock, msg.requester,
-                                   msg.payload)
+                                   msg.payload, msg.req)
         else:
             # Still holding, or our own grant has not arrived yet.
             if state.successor is not None:
                 raise RuntimeError("lock chain gave one node two successors")
-            state.successor = (msg.requester, msg.payload)
+            state.successor = (msg.requester, msg.payload, msg.req)
 
     def handle_grant(self, node: Node, msg: LockGrant) -> None:
         """Synchronous (requester): record payload, wake the acquirer."""
@@ -216,14 +227,15 @@ class LockService:
     # -- internals -----------------------------------------------------------------
 
     def _grant(self, node: Node, lock: int, requester: int,
-               req_payload: Any):
+               req_payload: Any, rid: int = 0):
         """Raw generator: build the grant payload and send ownership."""
         self.stats.grants_sent += 1
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("lock"):
             tracer.emit("lock", node=node.node_id, action="grant",
-                        lock=lock, requester=requester)
+                        lock=lock, requester=requester,
+                        **({"req": rid} if rid else {}))
         payload = yield from self.protocol.lock_grant_payload(
             node, requester, req_payload)
-        grant = LockGrant(lock=lock, payload=payload)
+        grant = LockGrant(lock=lock, payload=payload, req=rid)
         yield from self.protocol.send(node, requester, grant)

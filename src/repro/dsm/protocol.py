@@ -119,6 +119,7 @@ class LockRequest(Message):
     lock: int
     requester: int
     payload: Any = None
+    req: int = 0  # request id of the acquirer's stall span (tracing only)
 
 
 @dataclass
@@ -128,6 +129,7 @@ class LockForward(Message):
     lock: int
     requester: int
     payload: Any = None
+    req: int = 0
 
 
 @dataclass
@@ -140,6 +142,7 @@ class LockGrant(Message):
 
     lock: int
     payload: Any = None
+    req: int = 0
 
     def size_bytes(self, params: MachineParams) -> int:
         return params.control_message_bytes + _payload_bytes(self.payload,
@@ -161,6 +164,7 @@ class BarrierArrive(Message):
     node: int
     epoch: int
     payload: Any = None
+    req: int = 0  # request id of the arriver's wait span (tracing only)
 
     def size_bytes(self, params: MachineParams) -> int:
         return params.control_message_bytes + _payload_bytes(self.payload,
@@ -174,6 +178,7 @@ class BarrierRelease(Message):
     barrier: int
     epoch: int
     payload: Any = None
+    req: int = 0
 
     def size_bytes(self, params: MachineParams) -> int:
         return params.control_message_bytes + _payload_bytes(self.payload,
@@ -249,6 +254,10 @@ class DsmProtocol:
         self._tokens = itertools.count(1)
         # token -> (event, context) for replies to outstanding requests.
         self._pending: Dict[int, Tuple[Event, Any]] = {}
+        # Per-processor id of the stall span currently on the timeline
+        # (0 = none); request issue legs reference it as their cause.
+        # Only maintained while request-lifecycle tracing is enabled.
+        self._stall_req: List[int] = [0] * self.n
         for node in cluster.nodes:
             node.nic.handler = self._make_handler(node)
 
@@ -301,6 +310,9 @@ class DsmProtocol:
         entry = self._pending.pop(token, None)
         if entry is None:
             return
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("req"):
+            tracer.emit("req", leg="done", req=token)
         event, _context = entry
         if not event.triggered:
             event.succeed(value)
@@ -310,7 +322,68 @@ class DsmProtocol:
         """Generator: send ``msg`` from ``src_node``; charges the caller."""
         msg.sender = src_node.node_id
         yield from src_node.nic.send(dst, msg, msg.size_bytes(self.params),
-                                     traffic_class)
+                                     traffic_class,
+                                     req=self.request_id_of(msg))
+
+    # -- request-lifecycle spans (all guarded: zero cost when tracing is off) --
+
+    @staticmethod
+    def request_id_of(msg: Message) -> int:
+        """The request id a message travels under (0 when untracked)."""
+        return getattr(msg, "token", 0) or getattr(msg, "req", 0)
+
+    def new_span_id(self) -> int:
+        """Fresh id for a stall/sync span; 0 when "req" tracing is off.
+
+        Draws from the same counter as message tokens, so request ids
+        and span ids share one namespace and causal analysis can link
+        them without disambiguation.  Pure bookkeeping: drawing an id
+        never advances simulated time.
+        """
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("req"):
+            return self.new_token()
+        return 0
+
+    def set_stall(self, pid: int, sid: int) -> int:
+        """Mark ``sid`` as processor ``pid``'s current stall span;
+        returns the previous value so callers can restore it."""
+        previous = self._stall_req[pid]
+        self._stall_req[pid] = sid
+        return previous
+
+    def note_issue(self, node: Node, dst: int, msg: Message,
+                   **extra: Any) -> None:
+        """Emit the "issue" leg of a request: which stall caused it,
+        what it targets, and where it is going."""
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.wants("req"):
+            return
+        payload: Dict[str, Any] = dict(extra)
+        cause = self._stall_req[node.node_id]
+        if cause:
+            payload["cause"] = cause
+        for key in ("page", "lock", "barrier"):
+            value = getattr(msg, key, None)
+            if value is not None:
+                payload[key] = value
+        if getattr(msg, "prefetch", False):
+            payload["prefetch"] = True
+        tracer.emit("req", leg="issue", req=self.request_id_of(msg),
+                    node=node.node_id, dst=dst,
+                    kind=type(msg).__name__, **payload)
+
+    def note_sync_span(self, node: Node, category: str, action: str,
+                       start: float, **extra: Any) -> None:
+        """Emit a zero-or-more-cycle sync span ending now (skips empties)."""
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.wants(category):
+            return
+        dur = self.sim.now - start
+        if dur <= 0:
+            return
+        tracer.emit(category, node=node.node_id, action=action,
+                    begin=start, dur=dur, **extra)
 
     # -- page geometry helpers -----------------------------------------------
 

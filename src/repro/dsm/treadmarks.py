@@ -184,23 +184,28 @@ class TreadMarks(DsmProtocol):
     def handle_message(self, node: Node, msg: Message) -> None:
         if isinstance(msg, LockRequest):
             node.cpu.post_service(
-                "lock-req", lambda: self.locks.handle_request(node, msg))
+                "lock-req", lambda: self.locks.handle_request(node, msg),
+                req=msg.req)
         elif isinstance(msg, LockForward):
             node.cpu.post_service(
-                "lock-fwd", lambda: self.locks.handle_forward(node, msg))
+                "lock-fwd", lambda: self.locks.handle_forward(node, msg),
+                req=msg.req)
         elif isinstance(msg, LockGrant):
             self.locks.handle_grant(node, msg)
         elif isinstance(msg, BarrierArrive):
             node.cpu.post_service(
-                "bar-arrive", lambda: self.barriers.handle_arrive(node, msg))
+                "bar-arrive", lambda: self.barriers.handle_arrive(node, msg),
+                req=msg.req)
         elif isinstance(msg, BarrierRelease):
             self.barriers.handle_release(node, msg)
         elif isinstance(msg, PageRequest):
             self._data_service(node, "page-req",
-                               lambda: self._serve_page_request(node, msg))
+                               lambda: self._serve_page_request(node, msg),
+                               req=msg.token)
         elif isinstance(msg, DiffRequest):
             self._data_service(node, "diff-req",
-                               lambda: self._serve_diff_request(node, msg))
+                               lambda: self._serve_diff_request(node, msg),
+                               req=msg.token)
         elif isinstance(msg, PageReply):
             self._handle_page_reply(node, msg)
         elif isinstance(msg, DiffReply):
@@ -208,7 +213,7 @@ class TreadMarks(DsmProtocol):
         else:
             raise TypeError(f"unhandled message {msg!r}")
 
-    def _data_service(self, node: Node, name: str, work) -> None:
+    def _data_service(self, node: Node, name: str, work, req: int = 0) -> None:
         """Run a data-plane service on the controller (I modes) or the
         computation processor (Base/P).
 
@@ -217,9 +222,10 @@ class TreadMarks(DsmProtocol):
         installs) overtake it in the queue (paper footnote 2).
         """
         if self.mode.offload:
-            node.controller.submit(name, work, priority=PRIORITY_REMOTE)
+            node.controller.submit(name, work, priority=PRIORITY_REMOTE,
+                                   req=req)
         else:
-            node.cpu.post_service(name, work)
+            node.cpu.post_service(name, work, req=req)
 
     # ------------------------------------------------------------------
     # shared-memory operations (processor context)
@@ -268,14 +274,19 @@ class TreadMarks(DsmProtocol):
 
     def proc_release(self, pid: int, lock: int):
         node = self.cluster[pid]
+        start = self.sim.now
         yield from node.cpu.run_generator(
             self._end_interval(node), Category.SYNC)
         yield from self.locks.release(node, lock)
+        self.note_sync_span(node, "lock", "release", start, lock=lock)
 
     def proc_barrier(self, pid: int, barrier: int):
         node = self.cluster[pid]
+        start = self.sim.now
         yield from node.cpu.run_generator(
             self._end_interval(node), Category.SYNC)
+        self.note_sync_span(node, "barrier", "interval", start,
+                            barrier=barrier)
         yield from self.barriers.wait(node, barrier)
 
     # ------------------------------------------------------------------
@@ -493,6 +504,8 @@ class TreadMarks(DsmProtocol):
     def _fault(self, node: Node, st: NodeTmState, tp: TmPage, write: bool):
         """Processor-context generator: make ``tp`` valid (charges DATA)."""
         start = self.sim.now
+        sid = self.new_span_id()
+        prev_stall = self.set_stall(node.node_id, sid) if sid else 0
         if write:
             self.stats.write_faults += 1
         else:
@@ -509,6 +522,8 @@ class TreadMarks(DsmProtocol):
             if not writers:
                 break
             yield from self._fetch_diffs(node, st, tp, writers)
+        if sid:
+            self.set_stall(node.node_id, prev_stall)
         kind = "write" if write else "read"
         elapsed = self.sim.now - start
         metrics = self.sim.metrics
@@ -518,7 +533,8 @@ class TreadMarks(DsmProtocol):
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("fault"):
             tracer.emit("fault", node=node.node_id, action=kind,
-                        page=tp.page, begin=start, dur=elapsed)
+                        page=tp.page, begin=start, dur=elapsed,
+                        **({"req": sid} if sid else {}))
 
     def _cold_fetch(self, node: Node, st: NodeTmState, tp: TmPage):
         """Processor-context generator: install a first page copy."""
@@ -591,11 +607,14 @@ class TreadMarks(DsmProtocol):
 
     def _write_fault(self, node: Node, st: NodeTmState, tp: TmPage):
         """Processor-context generator: arm write collection (twin)."""
+        arm_start = self.sim.now
+        sid = self.new_span_id()
+        prev_stall = self.set_stall(node.node_id, sid) if sid else 0
         if self.mode.uses_twins:
             self.stats.twins_created += 1
             if self.mode.offload:
                 done = node.controller.submit(
-                    "twin", lambda: self._controller_twin(node))
+                    "twin", lambda: self._controller_twin(node), req=sid)
                 yield from node.cpu.wait(done, Category.DATA)
             else:
                 start = self.sim.now
@@ -611,6 +630,14 @@ class TreadMarks(DsmProtocol):
             # Hardware bit vectors: just flip the page writable.
             yield from node.cpu.hold(self.params.page_state_change_cycles,
                                      Category.DATA)
+        if sid:
+            self.set_stall(node.node_id, prev_stall)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("fault"):
+            tracer.emit("fault", node=node.node_id, action="write-arm",
+                        page=tp.page, begin=arm_start,
+                        dur=self.sim.now - arm_start,
+                        **({"req": sid} if sid else {}))
         tp.arm_write_collection()
 
     def _controller_twin(self, node: Node):
@@ -625,11 +652,13 @@ class TreadMarks(DsmProtocol):
     def _request_send(self, node: Node, dst: int, msg: Message,
                       category: Category, priority: int = PRIORITY_URGENT):
         """Processor-context generator: emit a request message."""
+        self.note_issue(node, dst, msg)
         if self.mode.offload:
             yield from node.cpu.hold(
                 self.params.controller_command_issue_cycles, category)
             node.controller.submit(
-                "send", lambda: self.send(node, dst, msg), priority=priority)
+                "send", lambda: self.send(node, dst, msg), priority=priority,
+                req=self.request_id_of(msg))
         else:
             yield from node.cpu.run_generator(
                 self.send(node, dst, msg), category)
@@ -672,7 +701,8 @@ class TreadMarks(DsmProtocol):
             pending = len(tp.diff_store) + 1
             interval_done = node.cpu.post_service(
                 "interval-proc",
-                lambda: self._interval_processing(pending))
+                lambda: self._interval_processing(pending),
+                req=msg.token)
         else:
             yield from self._interval_processing(len(tp.diff_store) + 1)
         diffs = [d for d in tp.diffs_after(msg.after_id)
@@ -751,7 +781,7 @@ class TreadMarks(DsmProtocol):
                 self._install_page(node, tp, msg)
                 self.complete_pending(msg.token, msg)
 
-            node.controller.submit("page-install", install)
+            node.controller.submit("page-install", install, req=msg.token)
         else:
             self.complete_pending(msg.token, msg)
 
@@ -765,11 +795,12 @@ class TreadMarks(DsmProtocol):
             node.controller.submit(
                 "diff-apply",
                 lambda: self._controller_apply(node, gather, msg),
-                priority=priority)
+                priority=priority, req=msg.token)
         elif msg.prefetch:
             node.cpu.post_service(
                 "pf-apply", lambda: self._processor_prefetch_apply(
-                    node, gather, msg), category=Category.DATA)
+                    node, gather, msg), category=Category.DATA,
+                req=msg.token)
         else:
             # Base/P demand fetch: the faulting processor applies all the
             # gathered diffs itself once every reply is in.
@@ -858,13 +889,14 @@ class TreadMarks(DsmProtocol):
                                       through_id=tp.notified.get(writer, 0),
                                       token=token, prefetch=True)
                 self.stats.prefetch.diff_requests += 1
+                self.note_issue(node, writer, request)
                 if self.mode.offload:
                     yield self.sim.timeout(
                         self.params.controller_command_issue_cycles)
                     node.controller.submit(
                         "pf-send", lambda w=writer, r=request:
                         self.send(node, w, r),
-                        priority=self._prefetch_priority)
+                        priority=self._prefetch_priority, req=token)
                 else:
                     yield from self.send(node, writer, request)
                 events.append(done)

@@ -57,6 +57,7 @@ class Command:
     done: Optional[Event] = None
     priority: int = PRIORITY_URGENT
     enqueued_at: float = field(default=0.0)
+    req: int = 0  # request id this command serves (tracing only)
 
 
 class ProtocolController:
@@ -85,12 +86,12 @@ class ProtocolController:
 
     def submit(self, name: str, work: Callable[[], Generator],
                priority: int = PRIORITY_URGENT,
-               done: Optional[Event] = None) -> Event:
+               done: Optional[Event] = None, req: int = 0) -> Event:
         """Queue a command; returns the completion event."""
         if done is None:
             done = Event(self.sim)
         cmd = Command(name=name, work=work, done=done, priority=priority,
-                      enqueued_at=self.sim.now)
+                      enqueued_at=self.sim.now, req=req)
         self.queue.put(cmd, priority=priority)
         return done
 
@@ -123,7 +124,8 @@ class ProtocolController:
             if tracer is not None and tracer.wants("ctrl"):
                 tracer.emit("ctrl", node=self.node_id, track="ctrl",
                             action=cmd.name, begin=started, dur=elapsed,
-                            wait=wait, priority=cmd.priority)
+                            wait=wait, priority=cmd.priority,
+                            **({"req": cmd.req} if cmd.req else {}))
             if cmd.done is not None and not cmd.done.triggered:
                 cmd.done.succeed(result)
 

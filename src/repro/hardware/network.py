@@ -113,11 +113,12 @@ class MeshNetwork:
     # -- transfer ------------------------------------------------------------
 
     def transfer(self, src: int, dst: int, nbytes: int,
-                 traffic_class: str = "protocol"):
+                 traffic_class: str = "protocol", req: int = 0):
         """Generator: move ``nbytes`` from ``src`` to ``dst`` with contention.
 
         The caller (NIC) blocks for the full transfer; asynchronous sends
-        wrap this in their own process.
+        wrap this in their own process.  ``req`` tags the trace event
+        with the request id riding this transfer (0 = untracked).
         """
         if src == dst:
             return  # local loopback: no mesh traversal
@@ -127,17 +128,17 @@ class MeshNetwork:
         held = []
         try:
             for link_key in path:
-                req = self._links[link_key].request()
-                yield req
-                held.append((link_key, req))
+                link_req = self._links[link_key].request()
+                yield link_req
+                held.append((link_key, link_req))
             blocked = self.sim.now - start
             head = len(path) * (self.params.switch_latency_cycles
                                 + self.params.wire_latency_cycles)
             serialization = nbytes * self.params.link_cycles_per_byte
             yield self.sim.timeout(head + serialization)
         finally:
-            for link_key, req in held:
-                self._links[link_key].release(req)
+            for link_key, link_req in held:
+                self._links[link_key].release(link_req)
         self.stats.messages += 1
         self.stats.bytes += nbytes
         self.stats.total_latency += self.sim.now - start
@@ -154,7 +155,8 @@ class MeshNetwork:
             tracer.emit("net", node=src, track="net", action=traffic_class,
                         dst=dst, bytes=nbytes, hops=len(path),
                         blocked=blocked, begin=start,
-                        dur=self.sim.now - start)
+                        dur=self.sim.now - start,
+                        **({"req": req} if req else {}))
 
     def link_utilization(self) -> float:
         """Mean utilization across all links."""

@@ -243,12 +243,14 @@ class NetworkInterface:
         return self._registry[node_id]
 
     def send(self, dst: int, payload: Any, nbytes: int,
-             traffic_class: str = "protocol", overhead: bool = True):
+             traffic_class: str = "protocol", overhead: bool = True,
+             req: int = 0):
         """Generator: inject a message; returns once injection completes.
 
         The caller (processor or protocol controller) is occupied for the
         messaging overhead plus the PCI injection; the flight through the
-        mesh and the remote delivery proceed asynchronously.
+        mesh and the remote delivery proceed asynchronously.  ``req``
+        tags trace events with the request id this message carries.
         """
         if overhead:
             yield self.sim.timeout(self.params.messaging_overhead_cycles)
@@ -265,14 +267,16 @@ class NetworkInterface:
         if tracer is not None and tracer.wants("msg"):
             tracer.emit("msg", node=self.node_id, track="nic",
                         action=type(payload).__name__, dst=dst,
-                        bytes=nbytes, traffic_class=traffic_class)
-        self.sim.process(self._fly(dst, payload, nbytes, traffic_class),
+                        bytes=nbytes, traffic_class=traffic_class,
+                        **({"req": req} if req else {}))
+        self.sim.process(self._fly(dst, payload, nbytes, traffic_class, req),
                          name=f"msg{self.node_id}->{dst}")
 
-    def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str):
+    def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str,
+             req: int = 0):
         if dst != self.node_id:
             yield from self.network.transfer(self.node_id, dst, nbytes,
-                                             traffic_class)
+                                             traffic_class, req=req)
         dst_nic = self.peer(dst)
         # Ejection DMA at the destination.
         yield from dst_nic.pci.transfer(nbytes)

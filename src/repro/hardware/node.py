@@ -58,16 +58,19 @@ class ComputeProcessor:
     # -- service requests ---------------------------------------------------
 
     def post_service(self, name: str, work: Callable[[], Generator],
-                     category: Category = Category.IPC) -> Event:
+                     category: Category = Category.IPC,
+                     req: int = 0) -> Event:
         """Queue work for this processor; returns its completion event.
 
         Called by the NIC handler or the protocol controller.  Never
         blocks the caller.  ``category`` is where the service's time is
         charged: IPC for remote requests (the default), DATA for work
         done on the node's own behalf (e.g. applying a prefetched diff).
+        ``req`` tags the service's trace span with the request id it
+        serves (0 = untracked).
         """
         done = Event(self.sim)
-        self._pending.append((name, work, done, category))
+        self._pending.append((name, work, done, category, req, self.sim.now))
         if self._service_gate is not None and not self._service_gate.triggered:
             self._service_gate.succeed()
         return done
@@ -85,13 +88,20 @@ class ComputeProcessor:
         """Generator: service every queued request, charging each item's
         category (IPC for remote requests) for interrupt entry + handler."""
         while self._pending:
-            _name, work, done, category = self._pending.popleft()
+            name, work, done, category, req, posted = self._pending.popleft()
             start = self.sim.now
             # Interrupt entry/exit cost, then the handler itself.
             yield self.sim.timeout(self.params.interrupt_cycles)
             result = yield from work()
-            self.breakdown.charge(category, self.sim.now - start)
+            elapsed = self.sim.now - start
+            self.breakdown.charge(category, elapsed)
             self.services_handled += 1
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.wants("req"):
+                tracer.emit("req", leg="svc", node=self.node_id, name=name,
+                            charge=category.value, wait=start - posted,
+                            begin=start, dur=elapsed,
+                            **({"req": req} if req else {}))
             if not done.triggered:
                 done.succeed(result)
 

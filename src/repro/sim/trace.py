@@ -32,9 +32,10 @@ __all__ = ["TraceEvent", "Tracer", "DEFAULT_CATEGORIES"]
 
 # The categories the observability layer emits; `repro run --trace`
 # enables all of them.  Custom categories remain fine -- this tuple is
-# a convenience, not a registry.
+# a convenience, not a registry.  "req" carries the request-lifecycle
+# legs (issue / svc / done) that stats/causal.py stitches into spans.
 DEFAULT_CATEGORIES = ("fault", "diff", "notice", "prefetch", "lock",
-                      "barrier", "ctrl", "msg", "net", "au")
+                      "barrier", "ctrl", "msg", "net", "au", "req")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,741 @@
+"""Causal request-lifecycle analysis: span DAG, critical path, blame.
+
+The DSM layers emit request-lifecycle legs under the ``"req"`` trace
+category (see :mod:`repro.dsm.protocol`): an **issue** leg when a
+request message leaves a processor (recording the stall span that
+caused it), a **svc** leg for every processor service span (with its
+queue wait and breakdown category), and a **done** leg when the reply
+completes the faulting processor's pending event.  The hardware layers
+tag their own events -- controller commands (``ctrl``), NIC injections
+(``msg``), and mesh transfers (``net``) -- with the same request id.
+Stall spans (``fault``, ``lock`` acquire, ``barrier`` wait) carry the
+id too, drawn from the same counter, so the whole lifecycle stitches
+into one DAG keyed by id.
+
+This module reconstructs that DAG from a recorded trace and answers
+the questions the paper's methodology asks of a real system:
+
+* **Critical path** -- split the run into barrier-to-barrier intervals
+  and decompose each interval along its *straggler* (the last arriver
+  at the closing barrier) into busy / data / sync / IPC time.  The
+  interval walls sum to the execution time exactly.
+* **Stall decomposition** -- each request's latency splits into
+  queue-wait (controller command queue + service queues), local and
+  remote service, and wire time.
+* **Blame tables** -- hottest pages (data-stall cycles), most-contended
+  locks (acquire-stall cycles), and most-blamed peers (who we were
+  waiting on: data servers, lock grantors, barrier stragglers).
+
+All numbers are cross-checkable against :class:`TimeBreakdown`: the
+span totals per category agree with the charged cycles because every
+DATA/SYNC charge site sits inside a stall span and every IPC charge
+inside a svc span, with preempting service spans subtracted from the
+stalls they interrupt (interruptible holds let IPC preempt mid-stall).
+
+Analysis clips all spans to ``[0, execution_cycles]`` so epilogue
+(verification) traffic in a ``verify=True`` trace does not pollute the
+timed region.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.stats.breakdown import Category
+
+__all__ = [
+    "RequestLifecycle", "Stall", "Interval", "CausalAnalysis",
+    "analyze_events", "analyze_run",
+]
+
+# Fault actions that are data stalls (TreadMarks read/write faults and
+# write-collection arming; AURC access faults).
+_DATA_STALL_ACTIONS = ("read", "write", "access", "write-arm")
+
+# Message kinds that carry data (page/diff) requests -- these have
+# explicit "done" legs; sync requests close via their stall span.
+_DATA_REQUEST_KINDS = ("PageRequest", "DiffRequest", "AurcPageRequest")
+
+_EPS = 1e-9
+
+
+@dataclass
+class SpanLegs:
+    """Where one request's latency went."""
+
+    queue_wait: float = 0.0      # controller + service queue waits
+    local_service: float = 0.0   # service on the requester's own node
+    remote_service: float = 0.0  # service on other nodes
+    wire: float = 0.0            # mesh transfer time
+
+    def total(self) -> float:
+        return (self.queue_wait + self.local_service
+                + self.remote_service + self.wire)
+
+
+@dataclass
+class RequestLifecycle:
+    """One protocol request reconstructed from its trace legs."""
+
+    rid: int
+    kind: str
+    node: int
+    dst: int
+    issued_at: float
+    cause: int = 0               # id of the stall span that issued it
+    page: Optional[int] = None
+    lock: Optional[int] = None
+    barrier: Optional[int] = None
+    prefetch: bool = False
+    done_at: Optional[float] = None
+    legs: SpanLegs = field(default_factory=SpanLegs)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.done_at is None:
+            return None
+        return self.done_at - self.issued_at
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind in _DATA_REQUEST_KINDS
+
+
+@dataclass
+class Stall:
+    """One processor stall span (fault, lock acquire, barrier wait...)."""
+
+    sid: int                     # request-id-namespace span id (0 = untagged)
+    node: int
+    kind: str                    # "data" | "sync"
+    action: str
+    begin: float
+    end: float
+    effective: float = 0.0       # wall minus preempting service spans
+    page: Optional[int] = None
+    lock: Optional[int] = None
+    barrier: Optional[int] = None
+    epoch: Optional[int] = None
+    cached: Optional[bool] = None
+
+    @property
+    def wall(self) -> float:
+        return self.end - self.begin
+
+
+@dataclass
+class Interval:
+    """One barrier-to-barrier slice of the run, decomposed along its
+    straggler's timeline."""
+
+    index: int
+    begin: float
+    end: float
+    straggler: int
+    boundary: Optional[Tuple[int, int]] = None   # (barrier, epoch) or None
+    busy: float = 0.0            # remainder: app work + memory-system stalls
+    data: float = 0.0
+    sync: float = 0.0
+    ipc: float = 0.0
+
+    @property
+    def wall(self) -> float:
+        return self.end - self.begin
+
+
+class _SpanIndex:
+    """Non-overlapping spans of one node, sorted for overlap queries."""
+
+    def __init__(self) -> None:
+        self._spans: List[Tuple[float, float, str]] = []
+        self._begins: List[float] = []
+        self._sorted = True
+
+    def add(self, begin: float, end: float, tag: str = "") -> None:
+        self._spans.append((begin, end, tag))
+        self._sorted = False
+
+    def _ensure(self) -> None:
+        if not self._sorted:
+            self._spans.sort(key=lambda s: s[0])
+            self._begins = [s[0] for s in self._spans]
+            self._sorted = True
+
+    def overlap(self, begin: float, end: float,
+                tag: Optional[str] = None) -> float:
+        """Total overlap of stored spans with ``[begin, end)``."""
+        if end <= begin:
+            return 0.0
+        self._ensure()
+        total = 0.0
+        i = bisect.bisect_right(self._begins, begin) - 1
+        if i < 0:
+            i = 0
+        while i < len(self._spans):
+            b, e, t = self._spans[i]
+            if b >= end:
+                break
+            if (tag is None or t == tag) and e > begin:
+                total += min(e, end) - max(b, begin)
+            i += 1
+        return total
+
+
+class CausalAnalysis:
+    """The reconstructed span DAG plus derived summaries."""
+
+    def __init__(self, execution_cycles: float,
+                 finish_times: Optional[Sequence[float]] = None):
+        self.execution_cycles = float(execution_cycles)
+        self.finish_times = list(finish_times or [])
+        self.requests: Dict[int, RequestLifecycle] = {}
+        self.stalls: List[Stall] = []
+        self.orphans: List[int] = []
+        self.in_flight: List[int] = []
+        self.intervals: List[Interval] = []
+        self.totals: Dict[str, float] = {"data": 0.0, "synch": 0.0,
+                                         "ipc": 0.0}
+        # (barrier, epoch) -> [(wait begin, node), ...]
+        self.barrier_waits: Dict[Tuple[int, int],
+                                 List[Tuple[float, int]]] = {}
+        self._svc_by_node: Dict[int, _SpanIndex] = {}
+        self._grant_sender: Dict[int, int] = {}
+        self._stall_by_sid: Dict[int, Stall] = {}
+
+    # -- blame tables -------------------------------------------------------
+
+    def blame_pages(self, top: int = 5) -> List[Tuple[int, float, int]]:
+        """``(page, stall cycles, stall count)`` rows, hottest first."""
+        cycles: Dict[int, float] = defaultdict(float)
+        counts: Dict[int, int] = defaultdict(int)
+        for stall in self.stalls:
+            if stall.kind == "data" and stall.page is not None:
+                cycles[stall.page] += stall.effective
+                counts[stall.page] += 1
+        rows = [(page, cycles[page], counts[page]) for page in cycles]
+        rows.sort(key=lambda r: -r[1])
+        return rows[:top]
+
+    def blame_locks(self, top: int = 5) -> List[Tuple[int, float, int]]:
+        """``(lock, acquire-stall cycles, acquires)``, most contended first."""
+        cycles: Dict[int, float] = defaultdict(float)
+        counts: Dict[int, int] = defaultdict(int)
+        for stall in self.stalls:
+            if stall.action == "acquire" and stall.lock is not None:
+                cycles[stall.lock] += stall.effective
+                counts[stall.lock] += 1
+        rows = [(lock, cycles[lock], counts[lock]) for lock in cycles]
+        rows.sort(key=lambda r: -r[1])
+        return rows[:top]
+
+    def blame_peers(self, top: int = 5) -> List[Tuple[int, float, int]]:
+        """``(node, blamed cycles, incidents)``: who stalls waited on.
+
+        Data requests blame their destination for the request latency;
+        lock acquires blame the grantor for the acquire stall; barrier
+        epochs blame the straggler for the time every other arriver
+        spent waiting on it.
+        """
+        cycles: Dict[int, float] = defaultdict(float)
+        counts: Dict[int, int] = defaultdict(int)
+        for r in self.requests.values():
+            if r.prefetch:
+                continue
+            if r.is_data and r.latency is not None and r.dst != r.node:
+                cycles[r.dst] += r.latency
+                counts[r.dst] += 1
+            elif r.kind == "LockRequest":
+                stall = self._stall_by_sid.get(r.rid)
+                if stall is not None:
+                    grantor = self._grant_sender.get(r.rid, r.dst)
+                    if grantor != r.node:
+                        cycles[grantor] += stall.effective
+                        counts[grantor] += 1
+        for (_barrier, _epoch), waits in self.barrier_waits.items():
+            if len(waits) < 2:
+                continue
+            last_begin, straggler = max(waits)
+            waited = sum(last_begin - begin
+                         for begin, node in waits if node != straggler)
+            if waited > 0:
+                cycles[straggler] += waited
+                counts[straggler] += 1
+        rows = [(node, cycles[node], counts[node]) for node in cycles]
+        rows.sort(key=lambda r: -r[1])
+        return rows[:top]
+
+    # -- leg decomposition --------------------------------------------------
+
+    def data_leg_totals(self) -> Dict[str, float]:
+        """Aggregate leg decomposition over completed data requests."""
+        legs = SpanLegs()
+        total_latency = 0.0
+        n = 0
+        for r in self.requests.values():
+            if not r.is_data or r.latency is None:
+                continue
+            n += 1
+            total_latency += r.latency
+            legs.queue_wait += r.legs.queue_wait
+            legs.local_service += r.legs.local_service
+            legs.remote_service += r.legs.remote_service
+            legs.wire += r.legs.wire
+        other = max(0.0, total_latency - legs.total())
+        return {
+            "requests": n,
+            "latency": total_latency,
+            "queue_wait": legs.queue_wait,
+            "local_service": legs.local_service,
+            "remote_service": legs.remote_service,
+            "wire": legs.wire,
+            "other": other,
+        }
+
+    # -- cross-check against TimeBreakdown ----------------------------------
+
+    def compare_with(self, breakdowns: Iterable) -> Dict[str, Dict[str, float]]:
+        """Span totals vs. the charged :class:`TimeBreakdown` cycles."""
+        charged = {"data": 0.0, "synch": 0.0, "ipc": 0.0}
+        for b in breakdowns:
+            charged["data"] += b.get(Category.DATA)
+            charged["synch"] += b.get(Category.SYNC)
+            charged["ipc"] += b.get(Category.IPC)
+        out = {}
+        for key in ("data", "synch", "ipc"):
+            spans = self.totals[key]
+            ref = charged[key]
+            denom = max(abs(ref), 1.0)
+            out[key] = {
+                "spans": spans,
+                "charged": ref,
+                "rel_err": abs(spans - ref) / denom,
+            }
+        return out
+
+    # -- export -------------------------------------------------------------
+
+    def collapsed_stacks(self) -> List[str]:
+        """Collapsed-stack lines (``frame;frame weight``) for flamegraph
+        tools (flamegraph.pl, speedscope): per-node stalls by cause,
+        service time by category, and the busy remainder."""
+        weights: Dict[str, float] = defaultdict(float)
+        for stall in self.stalls:
+            frames = [f"node{stall.node}", stall.kind, stall.action]
+            if stall.page is not None:
+                frames.append(f"page{stall.page}")
+            elif stall.lock is not None:
+                frames.append(f"lock{stall.lock}")
+            elif stall.barrier is not None:
+                frames.append(f"barrier{stall.barrier}")
+            weights[";".join(frames)] += stall.effective
+        for node, index in self._svc_by_node.items():
+            index._ensure()
+            for begin, end, tag in index._spans:
+                cat, _, name = tag.partition(":")
+                key = f"node{node};{'ipc' if cat == 'ipc' else 'data'};{name}"
+                weights[key] += end - begin
+        for node in sorted(set(self._svc_by_node)
+                           | {s.node for s in self.stalls}
+                           | set(range(len(self.finish_times)))):
+            finish = (self.finish_times[node]
+                      if node < len(self.finish_times)
+                      else self.execution_cycles)
+            spent = sum(w for key, w in weights.items()
+                        if key.startswith(f"node{node};"))
+            busy = finish - spent
+            if busy > 0:
+                weights[f"node{node};busy"] = busy
+        return [f"{key} {int(round(w))}"
+                for key, w in sorted(weights.items()) if w >= 0.5]
+
+    def to_json(self, top: int = 5) -> dict:
+        return {
+            "execution_cycles": self.execution_cycles,
+            "requests": {
+                "tracked": len(self.requests),
+                "data": sum(1 for r in self.requests.values() if r.is_data),
+                "orphans": len(self.orphans),
+                "in_flight": len(self.in_flight),
+            },
+            "span_totals": dict(self.totals),
+            "critical_path": [
+                {
+                    "begin": iv.begin, "end": iv.end, "wall": iv.wall,
+                    "straggler": iv.straggler,
+                    "boundary": list(iv.boundary) if iv.boundary else None,
+                    "busy": iv.busy, "data": iv.data,
+                    "sync": iv.sync, "ipc": iv.ipc,
+                }
+                for iv in self.intervals
+            ],
+            "blame": {
+                "pages": [list(r) for r in self.blame_pages(top)],
+                "locks": [list(r) for r in self.blame_locks(top)],
+                "peers": [list(r) for r in self.blame_peers(top)],
+            },
+            "data_request_legs": self.data_leg_totals(),
+        }
+
+    def format_report(self, top: int = 5,
+                      breakdowns: Optional[Iterable] = None) -> str:
+        lines = []
+        n_data = sum(1 for r in self.requests.values() if r.is_data)
+        lines.append(
+            f"causal analysis over {self.execution_cycles / 1e6:.2f} Mcycles"
+        )
+        lines.append(
+            f"  requests : {len(self.requests)} tracked ({n_data} data), "
+            f"{len(self.orphans)} orphaned, "
+            f"{len(self.in_flight)} in flight at cutoff")
+        if breakdowns is not None:
+            check = self.compare_with(breakdowns)
+            parts = ", ".join(
+                f"{key} {row['spans'] / 1e6:.2f}M vs {row['charged'] / 1e6:.2f}M "
+                f"({100 * row['rel_err']:.2f}%)"
+                for key, row in check.items())
+            lines.append(f"  spans vs charged: {parts}")
+        lines.append("critical path (per barrier interval, straggler "
+                     "timeline):")
+        lines.append(f"  {'#':>3s} {'begin':>12s} {'end':>12s} {'node':>4s} "
+                     f"{'busy%':>6s} {'data%':>6s} {'sync%':>6s} "
+                     f"{'ipc%':>6s}  boundary")
+        for iv in self.intervals:
+            wall = iv.wall or 1.0
+            tag = (f"barrier {iv.boundary[0]} epoch {iv.boundary[1]}"
+                   if iv.boundary else "end of run")
+            lines.append(
+                f"  {iv.index:>3d} {iv.begin:>12.0f} {iv.end:>12.0f} "
+                f"{iv.straggler:>4d} {100 * iv.busy / wall:>6.1f} "
+                f"{100 * iv.data / wall:>6.1f} {100 * iv.sync / wall:>6.1f} "
+                f"{100 * iv.ipc / wall:>6.1f}  {tag}")
+        lines.append(f"stall blame (top {top}):")
+        lines.append("  hottest pages:")
+        for page, cycles, count in self.blame_pages(top):
+            lines.append(f"    page {page:>6d}  {cycles / 1e3:>10.1f} "
+                         f"Kcycles  {count} stalls")
+        locks = self.blame_locks(top)
+        if locks:
+            lines.append("  most-contended locks:")
+            for lock, cycles, count in locks:
+                lines.append(f"    lock {lock:>6d}  {cycles / 1e3:>10.1f} "
+                             f"Kcycles  {count} acquires")
+        lines.append("  most-blamed peers:")
+        for node, cycles, count in self.blame_peers(top):
+            lines.append(f"    node {node:>6d}  {cycles / 1e3:>10.1f} "
+                         f"Kcycles  {count} incidents")
+        legs = self.data_leg_totals()
+        if legs["requests"]:
+            lat = legs["latency"] or 1.0
+            lines.append(
+                f"data-request legs ({legs['requests']} completed): "
+                f"queue-wait {100 * legs['queue_wait'] / lat:.1f}%, "
+                f"local svc {100 * legs['local_service'] / lat:.1f}%, "
+                f"remote svc {100 * legs['remote_service'] / lat:.1f}%, "
+                f"wire {100 * legs['wire'] / lat:.1f}%, "
+                f"other {100 * legs['other'] / lat:.1f}%")
+        return "\n".join(lines)
+
+
+def _clip(begin: float, dur: float, horizon: float):
+    """Clip a span to ``[0, horizon]``; None if it starts past it."""
+    if begin >= horizon - _EPS:
+        return None
+    return begin, min(begin + max(dur, 0.0), horizon)
+
+
+class _DictEvent:
+    """Adapter giving a loaded JSONL line the live-event interface."""
+
+    __slots__ = ("time", "category", "payload")
+
+    def __init__(self, doc: dict):
+        self.time = doc.get("t", 0.0)
+        self.category = doc.get("cat", "")
+        self.payload = {k: v for k, v in doc.items()
+                        if k not in ("t", "cat")}
+
+
+def analyze_events(events: Iterable, execution_cycles: float,
+                   finish_times: Optional[Sequence[float]] = None
+                   ) -> CausalAnalysis:
+    """Reconstruct the request span DAG from a recorded event stream.
+
+    ``events`` is any iterable of :class:`TraceEvent`-shaped objects
+    (live tracer events) or of plain dicts as loaded back from a JSONL
+    trace file.
+    """
+    analysis = CausalAnalysis(execution_cycles, finish_times)
+    horizon = analysis.execution_cycles
+    referenced: set = set()
+    anchored: set = set()
+    done_at: Dict[int, float] = {}
+    releases: List[Tuple[float, int, int]] = []
+    ctrl_legs: List[Tuple[int, int, float, float]] = []  # rid,node,wait,dur
+    svc_legs: List[Tuple[int, int, float, float]] = []
+    wire_legs: List[Tuple[int, float]] = []
+
+    for ev in events:
+        if isinstance(ev, dict):
+            ev = _DictEvent(ev)
+        cat = ev.category
+        p = ev.payload
+        if cat == "req":
+            leg = p.get("leg")
+            if leg == "issue":
+                rid = p.get("req", 0)
+                if not rid:
+                    continue
+                referenced.add(rid)
+                anchored.add(rid)
+                analysis.requests[rid] = RequestLifecycle(
+                    rid=rid, kind=p.get("kind", ""),
+                    node=p.get("node", -1), dst=p.get("dst", -1),
+                    issued_at=ev.time, cause=p.get("cause", 0),
+                    page=p.get("page"), lock=p.get("lock"),
+                    barrier=p.get("barrier"),
+                    prefetch=bool(p.get("prefetch")))
+            elif leg == "svc":
+                clipped = _clip(p.get("begin", ev.time), p.get("dur", 0.0),
+                                horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                node = p.get("node", -1)
+                svc_cat = p.get("charge", "ipc")
+                index = analysis._svc_by_node.setdefault(node, _SpanIndex())
+                index.add(begin, end, f"{svc_cat}:{p.get('name', '')}")
+                key = "ipc" if svc_cat == "ipc" else "data"
+                analysis.totals[key] += end - begin
+                rid = p.get("req", 0)
+                if rid:
+                    referenced.add(rid)
+                    svc_legs.append((rid, node, p.get("wait", 0.0),
+                                     end - begin))
+            elif leg == "done":
+                rid = p.get("req", 0)
+                if rid:
+                    referenced.add(rid)
+                    if ev.time <= horizon + _EPS:
+                        done_at.setdefault(rid, ev.time)
+        elif cat == "ctrl":
+            rid = p.get("req", 0)
+            if rid:
+                referenced.add(rid)
+                ctrl_legs.append((rid, p.get("node", -1),
+                                  p.get("wait", 0.0), p.get("dur", 0.0)))
+        elif cat == "net":
+            rid = p.get("req", 0)
+            if rid:
+                referenced.add(rid)
+                wire_legs.append((rid, p.get("dur", 0.0)))
+        elif cat == "msg":
+            rid = p.get("req", 0)
+            if rid:
+                referenced.add(rid)
+                if p.get("action") == "LockGrant":
+                    analysis._grant_sender[rid] = p.get("node", -1)
+        elif cat == "fault":
+            action = p.get("action", "")
+            if action in _DATA_STALL_ACTIONS and "begin" in p:
+                clipped = _clip(p["begin"], p.get("dur", 0.0), horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                sid = p.get("req", 0)
+                if sid:
+                    referenced.add(sid)
+                    anchored.add(sid)
+                stall = Stall(sid=sid, node=p.get("node", -1), kind="data",
+                              action=action, begin=begin, end=end,
+                              page=p.get("page"))
+                analysis.stalls.append(stall)
+                if sid:
+                    analysis._stall_by_sid[sid] = stall
+        elif cat == "lock":
+            action = p.get("action", "")
+            if action == "acquire":
+                clipped = _clip(p.get("begin", ev.time), p.get("dur", 0.0),
+                                horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                sid = p.get("req", 0)
+                if sid:
+                    referenced.add(sid)
+                    anchored.add(sid)
+                stall = Stall(sid=sid, node=p.get("node", -1), kind="sync",
+                              action="acquire", begin=begin, end=end,
+                              lock=p.get("lock"), cached=p.get("cached"))
+                analysis.stalls.append(stall)
+                if sid:
+                    analysis._stall_by_sid[sid] = stall
+            elif action == "release" and "begin" in p:
+                clipped = _clip(p["begin"], p.get("dur", 0.0), horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                analysis.stalls.append(
+                    Stall(sid=0, node=p.get("node", -1), kind="sync",
+                          action="release", begin=begin, end=end,
+                          lock=p.get("lock")))
+            else:
+                rid = p.get("req", 0)
+                if rid:
+                    referenced.add(rid)
+        elif cat == "barrier":
+            action = p.get("action", "")
+            if action == "wait":
+                clipped = _clip(p.get("begin", ev.time), p.get("dur", 0.0),
+                                horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                sid = p.get("req", 0)
+                if sid:
+                    referenced.add(sid)
+                    anchored.add(sid)
+                stall = Stall(sid=sid, node=p.get("node", -1), kind="sync",
+                              action="wait", begin=begin, end=end,
+                              barrier=p.get("barrier"), epoch=p.get("epoch"))
+                analysis.stalls.append(stall)
+                if sid:
+                    analysis._stall_by_sid[sid] = stall
+                key = (p.get("barrier", -1), p.get("epoch", -1))
+                analysis.barrier_waits.setdefault(key, []).append(
+                    (begin, p.get("node", -1)))
+            elif action == "release":
+                if ev.time <= horizon + _EPS:
+                    releases.append((ev.time, p.get("barrier", -1),
+                                     p.get("epoch", -1)))
+            elif action == "interval" and "begin" in p:
+                clipped = _clip(p["begin"], p.get("dur", 0.0), horizon)
+                if clipped is None:
+                    continue
+                begin, end = clipped
+                analysis.stalls.append(
+                    Stall(sid=0, node=p.get("node", -1), kind="sync",
+                          action="interval", begin=begin, end=end,
+                          barrier=p.get("barrier")))
+
+    referenced.discard(0)
+    analysis.orphans = sorted(referenced - anchored)
+
+    # Attach latency legs to the requests they served.
+    for rid, node, wait, dur in ctrl_legs:
+        r = analysis.requests.get(rid)
+        if r is None:
+            continue
+        r.legs.queue_wait += wait
+        if node == r.node:
+            r.legs.local_service += dur
+        else:
+            r.legs.remote_service += dur
+    for rid, node, wait, dur in svc_legs:
+        r = analysis.requests.get(rid)
+        if r is None:
+            continue
+        r.legs.queue_wait += wait
+        if node == r.node:
+            r.legs.local_service += dur
+        else:
+            r.legs.remote_service += dur
+    for rid, dur in wire_legs:
+        r = analysis.requests.get(rid)
+        if r is not None:
+            r.legs.wire += dur
+    for rid, t in done_at.items():
+        r = analysis.requests.get(rid)
+        if r is not None:
+            r.done_at = t
+    analysis.in_flight = sorted(
+        rid for rid, r in analysis.requests.items()
+        if r.is_data and r.done_at is None)
+
+    # Effective stall time: wall minus the service spans that preempted
+    # the stalled processor (charged to their own category).
+    for stall in analysis.stalls:
+        index = analysis._svc_by_node.get(stall.node)
+        preempted = index.overlap(stall.begin, stall.end) if index else 0.0
+        stall.effective = max(0.0, stall.wall - preempted)
+        if stall.kind == "data":
+            analysis.totals["data"] += stall.effective
+        else:
+            analysis.totals["synch"] += stall.effective
+
+    _build_intervals(analysis, releases)
+    return analysis
+
+
+def _build_intervals(analysis: CausalAnalysis,
+                     releases: List[Tuple[float, int, int]]) -> None:
+    """Slice [0, T] at barrier releases; decompose each slice along the
+    straggler (last arriver) of the closing barrier."""
+    horizon = analysis.execution_cycles
+    boundary_of: Dict[float, Tuple[int, int]] = {}
+    for t, barrier, epoch in sorted(releases):
+        if 0.0 < t < horizon and t not in boundary_of:
+            boundary_of[t] = (barrier, epoch)
+    points = [0.0] + sorted(boundary_of) + [horizon]
+
+    # Per-node stall index for windowed decomposition.
+    stalls_by_node: Dict[int, List[Stall]] = defaultdict(list)
+    for stall in analysis.stalls:
+        stalls_by_node[stall.node].append(stall)
+    for spans in stalls_by_node.values():
+        spans.sort(key=lambda s: s.begin)
+
+    default_straggler = 0
+    if analysis.finish_times:
+        default_straggler = max(range(len(analysis.finish_times)),
+                                key=lambda i: analysis.finish_times[i])
+
+    for i in range(len(points) - 1):
+        begin, end = points[i], points[i + 1]
+        if end - begin <= _EPS:
+            continue
+        boundary = boundary_of.get(end)
+        straggler = default_straggler
+        if boundary is not None:
+            waits = analysis.barrier_waits.get(boundary)
+            if waits:
+                straggler = max(waits)[1]
+        iv = Interval(index=len(analysis.intervals), begin=begin, end=end,
+                      straggler=straggler, boundary=boundary)
+        svc_index = analysis._svc_by_node.get(straggler)
+        if svc_index is not None:
+            svc_index._ensure()
+            for b, e, tag in svc_index._spans:
+                if b >= end or e <= begin:
+                    continue
+                span = min(e, end) - max(b, begin)
+                if tag.startswith("ipc:"):
+                    iv.ipc += span
+                else:
+                    iv.data += span
+        for stall in stalls_by_node.get(straggler, ()):
+            if stall.begin >= end or stall.end <= begin:
+                continue
+            b, e = max(stall.begin, begin), min(stall.end, end)
+            span = e - b
+            if svc_index is not None:
+                span -= svc_index.overlap(b, e)
+            span = max(0.0, span)
+            if stall.kind == "data":
+                iv.data += span
+            else:
+                iv.sync += span
+        iv.busy = max(0.0, iv.wall - iv.data - iv.sync - iv.ipc)
+        analysis.intervals.append(iv)
+
+
+def analyze_run(result, finish_times: Optional[Sequence[float]] = None
+                ) -> CausalAnalysis:
+    """Analyze a :class:`RunResult` produced with ``trace=True``."""
+    tracer = getattr(result, "tracer", None)
+    if tracer is None:
+        raise ValueError("result has no tracer: run with trace=True")
+    return analyze_events(tracer.events, result.execution_cycles,
+                          finish_times or result.finish_times)

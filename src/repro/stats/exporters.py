@@ -27,7 +27,7 @@ from repro.hardware.params import CYCLE_NS
 
 __all__ = [
     "trace_to_jsonl", "trace_to_chrome", "write_trace",
-    "load_trace_file", "summarize_events",
+    "load_trace_file", "load_trace_meta", "summarize_events",
 ]
 
 _US_PER_CYCLE = CYCLE_NS / 1000.0
@@ -49,13 +49,21 @@ _STRUCTURAL_KEYS = ("node", "track", "begin", "dur")
 
 
 def trace_to_jsonl(tracer) -> str:
-    """Render the tracer's events as one JSON object per line."""
+    """Render the tracer's events as one JSON object per line.
+
+    A trailing ``"_meta"`` record carries the recorded/dropped counts so
+    a loaded file can report whether the trace is complete; loaders
+    filter it out of the event stream.
+    """
     lines = []
     for event in tracer.events:
         doc = {"t": event.time, "cat": event.category}
         doc.update(event.payload)
         lines.append(json.dumps(doc, default=str))
-    return "\n".join(lines) + ("\n" if lines else "")
+    lines.append(json.dumps({"cat": "_meta", "events": len(tracer.events),
+                             "dropped": tracer.dropped,
+                             "clock": f"{CYCLE_NS:g} ns/cycle"}))
+    return "\n".join(lines) + "\n"
 
 
 def trace_to_chrome(tracer) -> Dict[str, Any]:
@@ -124,13 +132,43 @@ def load_trace_file(path: str) -> List[Dict[str, Any]]:
         doc = json.loads(text)
     except json.JSONDecodeError:
         # Multiple top-level values: JSONL.
-        return [json.loads(line) for line in text.splitlines()
-                if line.strip()]
+        return [e for e in (json.loads(line) for line in text.splitlines()
+                            if line.strip())
+                if e.get("cat") != "_meta"]
     if isinstance(doc, dict):
         events = doc.get("traceEvents", [])
         return [e for e in events if e.get("ph") != "M"]
     # A single-line JSONL file parses as one object.
-    return [doc] if doc else []
+    return [doc] if doc and doc.get("cat") != "_meta" else []
+
+
+def load_trace_meta(path: str) -> Dict[str, Any]:
+    """Recorded/dropped counts of a trace file, for either format.
+
+    Returns ``{}`` for traces written before the meta record existed.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        for line in reversed(text.splitlines()):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if record.get("cat") == "_meta":
+                return record
+            break
+        return {}
+    if isinstance(doc, dict):
+        other = doc.get("otherData", {})
+        if "dropped_events" in other:
+            return {"cat": "_meta",
+                    "events": sum(1 for e in doc.get("traceEvents", [])
+                                  if e.get("ph") != "M"),
+                    "dropped": other["dropped_events"],
+                    "clock": other.get("clock")}
+    return {}
 
 
 def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, int]:

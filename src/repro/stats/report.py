@@ -15,7 +15,8 @@ from repro.hardware.params import CYCLE_NS
 from repro.stats.breakdown import Category
 
 __all__ = ["format_run", "format_comparison", "speedup_table",
-           "breakdown_bar", "RunReport"]
+           "breakdown_bar", "RunReport", "validate_report",
+           "KNOWN_SCHEMAS"]
 
 _BAR_WIDTH = 40
 _CATEGORY_GLYPHS = {
@@ -100,14 +101,15 @@ def format_comparison(results: Sequence, baseline_index: int = 0) -> str:
     """Side-by-side normalized comparison of several runs of one app."""
     if not results:
         return "(no runs)"
-    base = results[baseline_index].execution_cycles
+    base = getattr(results[baseline_index], "execution_cycles", 0) or 0
     lines = [f"comparison ({results[baseline_index].protocol_label} "
              f"= 100%)"]
     for result in results:
-        pct = 100.0 * result.execution_cycles / base
+        cycles = getattr(result, "execution_cycles", 0) or 0
+        pct = f"{100.0 * cycles / base:7.1f}%" if base > 0 else f"{'n/a':>8s}"
         merged = result.merged_breakdown
         lines.append(
-            f"  {result.protocol_label:12s} {pct:7.1f}%  "
+            f"  {result.protocol_label:12s} {pct}  "
             f"[{breakdown_bar(merged, width=30)}]")
     return "\n".join(lines)
 
@@ -120,22 +122,42 @@ class RunReport:
     produces a valid -- if sparse -- report.  Schema is versioned so
     downstream consumers (benchmark archives, plotting scripts) can
     detect incompatible changes.
+
+    Version 2 adds a ``warnings`` list (e.g. dropped trace events, which
+    make any trace-derived numbers undercounts) and, when the run was
+    traced with request spans, a ``causal`` section: critical-path
+    intervals and top-N blame tables from
+    :mod:`repro.stats.causal`.
     """
 
-    SCHEMA = "repro-run-report/1"
+    SCHEMA = "repro-run-report/2"
 
-    def __init__(self, result, tracer=None, metrics=None):
+    def __init__(self, result, tracer=None, metrics=None,
+                 causal_top: int = 5):
         self.result = result
         self.tracer = tracer if tracer is not None \
             else getattr(result, "tracer", None)
         self.metrics = metrics if metrics is not None \
             else getattr(result, "metrics", None)
+        self.causal_top = causal_top
+
+    def warnings(self) -> List[str]:
+        notes = []
+        if self.tracer is not None and self.tracer.dropped:
+            notes.append(
+                f"trace dropped {self.tracer.dropped} events at its "
+                f"{self.tracer.limit}-event limit; trace-derived numbers "
+                f"are undercounts")
+        return notes
 
     def to_json(self) -> dict:
         doc = {
             "schema": self.SCHEMA,
             "run": self.result.to_json(),
         }
+        warnings = self.warnings()
+        if warnings:
+            doc["warnings"] = warnings
         if self.metrics is not None:
             doc["metrics"] = self.metrics.to_json()
         if self.tracer is not None:
@@ -144,7 +166,70 @@ class RunReport:
                 "dropped": self.tracer.dropped,
                 "counts": self.tracer.counts(),
             }
+            if self.tracer.counts().get("req"):
+                from repro.stats.causal import analyze_run
+                doc["causal"] = analyze_run(self.result).to_json(
+                    top=self.causal_top)
         return doc
+
+
+# Schemas `repro validate` accepts.  Version 1 run reports (pre-causal)
+# remain readable; repro-bench/1 is the benchmark-regression archive.
+KNOWN_SCHEMAS = ("repro-run-report/1", "repro-run-report/2",
+                 "repro-bench/1")
+
+# Top-level keys that must be present per schema.
+_REQUIRED_KEYS = {
+    "repro-run-report/1": ("run",),
+    "repro-run-report/2": ("run",),
+    "repro-bench/1": ("generated_by", "runs"),
+}
+
+
+def validate_report(doc) -> List[str]:
+    """Check a loaded report document; returns a list of problems.
+
+    An empty list means the document is a structurally valid instance
+    of a known schema.  Used by ``repro validate`` (and CI) to fail on
+    malformed artifacts.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected an object"]
+    schema = doc.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        return [f"unknown schema {schema!r} (known: "
+                f"{', '.join(KNOWN_SCHEMAS)})"]
+    for key in _REQUIRED_KEYS[schema]:
+        if key not in doc:
+            problems.append(f"{schema}: missing required key {key!r}")
+    if schema.startswith("repro-run-report/"):
+        run = doc.get("run")
+        if run is not None:
+            if not isinstance(run, dict):
+                problems.append("'run' must be an object")
+            elif "execution_cycles" not in run:
+                problems.append("'run' missing 'execution_cycles'")
+        if "trace" in doc and not isinstance(doc["trace"], dict):
+            problems.append("'trace' must be an object")
+        if "warnings" in doc and not isinstance(doc["warnings"], list):
+            problems.append("'warnings' must be a list")
+    elif schema == "repro-bench/1":
+        runs = doc.get("runs")
+        if runs is not None:
+            if not isinstance(runs, list) or not runs:
+                problems.append("'runs' must be a non-empty list")
+            else:
+                for i, entry in enumerate(runs):
+                    if not isinstance(entry, dict):
+                        problems.append(f"runs[{i}] must be an object")
+                        continue
+                    for key in ("app", "protocol", "execution_cycles",
+                                "fractions"):
+                        if key not in entry:
+                            problems.append(
+                                f"runs[{i}] missing key {key!r}")
+    return problems
 
 
 def speedup_table(serial_cycles: float,

@@ -72,7 +72,7 @@ def test_run_with_trace_and_metrics_files(tmp_path, capsys):
 
     with open(metrics_file) as fh:
         report = json.load(fh)
-    assert report["schema"] == "repro-run-report/1"
+    assert report["schema"] == "repro-run-report/2"
     assert report["run"]["app"] == "Em3d"
     assert report["metrics"]["counters"]
 
@@ -85,6 +85,52 @@ def test_run_with_trace_and_metrics_files(tmp_path, capsys):
                  "--limit", "2"]) == 0
     out = capsys.readouterr().out
     assert "fault" in out
+
+
+def test_analyze_command(tmp_path, capsys):
+    import json
+
+    folded = str(tmp_path / "stacks.folded")
+    out_json = str(tmp_path / "causal.json")
+    code = main(["analyze", "Em3d", "--protocol", "I+P+D", "--procs", "4",
+                 "--quick", "--top", "3", "--flamegraph", folded,
+                 "--json", out_json])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "causal analysis" in out
+    assert "critical path" in out
+    assert "hottest pages" in out
+    assert "spans vs charged" in out
+    with open(folded) as fh:
+        lines = fh.read().strip().splitlines()
+    assert lines and all(" " in line for line in lines)
+    with open(out_json) as fh:
+        doc = json.load(fh)
+    assert doc["requests"]["orphans"] == 0
+
+
+def test_validate_command(tmp_path, capsys):
+    import json
+
+    good = tmp_path / "good.json"
+    metrics_file = str(tmp_path / "metrics.json")
+    assert main(["run", "Em3d", "--protocol", "Base", "--procs", "2",
+                 "--quick", "--no-verify", "--metrics",
+                 metrics_file]) == 0
+    capsys.readouterr()
+    good.write_text(json.dumps({
+        "schema": "repro-bench/1", "generated_by": "test",
+        "runs": [{"app": "Em3d", "protocol": "TM/Base",
+                  "execution_cycles": 1.0, "fractions": {}}]}))
+    assert main(["validate", str(good), metrics_file]) == 0
+    out = capsys.readouterr().out
+    assert out.count(": ok") == 2
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "nope/1"}')
+    assert main(["validate", str(good), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "INVALID" in out
 
 
 def test_metrics_command_rejects_plain_json(tmp_path, capsys):

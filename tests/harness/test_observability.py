@@ -87,7 +87,7 @@ def test_run_report_schema(instrumented):
     doc = RunReport(instrumented).to_json()
     # Must survive a JSON round trip (no numpy scalars etc. left inside).
     doc = json.loads(json.dumps(doc))
-    assert doc["schema"] == "repro-run-report/1"
+    assert doc["schema"] == "repro-run-report/2"
     assert doc["run"]["app"] == "Em3d"
     assert doc["trace"]["events"] == len(instrumented.tracer.events)
     assert doc["metrics"]["counters"]

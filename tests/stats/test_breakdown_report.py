@@ -6,10 +6,12 @@ from repro.apps.ocean import Ocean
 from repro.harness.runner import ProtocolConfig, run_app
 from repro.stats.breakdown import Category, TimeBreakdown
 from repro.stats.report import (
+    RunReport,
     breakdown_bar,
     format_comparison,
     format_run,
     speedup_table,
+    validate_report,
 )
 
 
@@ -125,3 +127,97 @@ def test_speedup_table(sample_results):
 
 def test_format_comparison_empty():
     assert format_comparison([]) == "(no runs)"
+
+
+class _StubResult:
+    """Minimal result-like object for comparison-formatting tests."""
+
+    def __init__(self, cycles, label="stub"):
+        if cycles is not None:
+            self.execution_cycles = cycles
+        self.protocol_label = label
+        self.merged_breakdown = TimeBreakdown()
+
+
+def test_format_comparison_zero_baseline_is_na():
+    # A zero-cycle baseline (e.g. a failed or synthetic run) must not
+    # raise ZeroDivisionError; percentages render as n/a instead.
+    rows = [_StubResult(0.0, "Base"), _StubResult(1000.0, "I+D")]
+    text = format_comparison(rows)
+    assert "n/a" in text
+    assert "%" not in text.splitlines()[1]
+
+
+def test_format_comparison_absent_baseline_cycles():
+    rows = [_StubResult(None, "Base"), _StubResult(1000.0, "I+D")]
+    text = format_comparison(rows)
+    assert "n/a" in text
+
+
+def test_breakdown_bar_rounding_never_exceeds_width():
+    # Three categories at 1/3 each round to 3+3+3 of width 10; a
+    # 0.45/0.55 split rounds to 5+6 and must be truncated to width.
+    b = TimeBreakdown()
+    b.charge(Category.BUSY, 45)
+    b.charge(Category.DATA, 55)
+    bar = breakdown_bar(b, width=10)
+    assert len(bar) == 10
+    thirds = TimeBreakdown()
+    for category in (Category.BUSY, Category.DATA, Category.SYNC):
+        thirds.charge(category, 1)
+    bar = breakdown_bar(thirds, width=10)
+    assert len(bar) == 10
+    assert bar.count("#") == 3 and bar.count("d") == 3
+
+
+def test_breakdown_bar_tiny_fraction_rounds_away():
+    b = TimeBreakdown()
+    b.charge(Category.BUSY, 999)
+    b.charge(Category.IPC, 1)  # 0.1% of width 10 rounds to zero cells
+    bar = breakdown_bar(b, width=10)
+    assert len(bar) == 10
+    assert "i" not in bar
+
+
+# -- RunReport warnings and schema validation ---------------------------------
+
+class _StubTracer:
+    def __init__(self, dropped=0, limit=10):
+        self.events = []
+        self.dropped = dropped
+        self.limit = limit
+
+    def counts(self):
+        return {}
+
+
+def test_run_report_warns_on_dropped_events(sample_results):
+    base, _ = sample_results
+    report = RunReport(base, tracer=_StubTracer(dropped=7))
+    assert any("dropped 7" in w for w in report.warnings())
+    doc = report.to_json()
+    assert doc["warnings"]
+    assert RunReport(base, tracer=_StubTracer()).to_json().get(
+        "warnings") is None
+
+
+def test_validate_report_accepts_both_run_report_versions(sample_results):
+    base, _ = sample_results
+    doc = RunReport(base).to_json()
+    assert validate_report(doc) == []
+    doc_v1 = dict(doc, schema="repro-run-report/1")
+    assert validate_report(doc_v1) == []
+
+
+def test_validate_report_rejects_bad_documents():
+    assert validate_report([]) != []
+    assert validate_report({"schema": "bogus/9"}) != []
+    assert validate_report({"schema": "repro-run-report/2"}) != []
+    assert validate_report({"schema": "repro-run-report/2",
+                            "run": {"execution_cycles": 1.0}}) == []
+    assert validate_report({"schema": "repro-bench/1",
+                            "generated_by": "x", "runs": []}) != []
+    assert validate_report({
+        "schema": "repro-bench/1", "generated_by": "x",
+        "runs": [{"app": "Em3d", "protocol": "TM/Base",
+                  "execution_cycles": 1.0, "fractions": {}}]}) == []

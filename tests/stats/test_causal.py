@@ -1,0 +1,206 @@
+"""Causal request-lifecycle analysis: span DAG, critical path, blame.
+
+Acceptance properties from the PR issue, checked on real quick runs:
+
+* every request id referenced by any span leg resolves to an issue
+  anchor (zero orphans);
+* per-interval critical-path walls sum to the run's execution cycles
+  (within 1%; the construction makes it exact);
+* span-derived data / synch / ipc totals agree with the charged
+  :class:`TimeBreakdown` cycles within 1%;
+* the analysis of a trace loaded back from a JSONL file matches the
+  analysis of the live tracer events.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import scaled_app
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.stats.causal import analyze_events, analyze_run
+from repro.stats.exporters import load_trace_file, write_trace
+
+_RUN_KW = dict(trace=True, metrics=True, verify=False,
+               trace_limit=2_000_000)
+
+
+@pytest.fixture(scope="module")
+def em3d_overlap():
+    return run_app(scaled_app("Em3d", 4, quick=True),
+                   ProtocolConfig.treadmarks("I+P+D"), **_RUN_KW)
+
+
+@pytest.fixture(scope="module")
+def water_base():
+    return run_app(scaled_app("Water", 4, quick=True),
+                   ProtocolConfig.treadmarks("Base"), **_RUN_KW)
+
+
+@pytest.fixture(scope="module")
+def em3d_aurc():
+    return run_app(scaled_app("Em3d", 4, quick=True),
+                   ProtocolConfig.aurc(prefetch=True), **_RUN_KW)
+
+
+@pytest.fixture(scope="module")
+def analyses(em3d_overlap, water_base, em3d_aurc):
+    return {
+        "em3d": analyze_run(em3d_overlap),
+        "water": analyze_run(water_base),
+        "aurc": analyze_run(em3d_aurc),
+    }
+
+
+# -- acceptance properties -----------------------------------------------------
+
+def test_no_orphaned_request_ids(analyses):
+    for name, analysis in analyses.items():
+        assert not analysis.orphans, (name, sorted(analysis.orphans)[:10])
+
+
+def test_requests_are_tracked(analyses):
+    for name, analysis in analyses.items():
+        assert analysis.requests, name
+        data = [r for r in analysis.requests.values() if r.is_data]
+        assert data, name
+        done = [r for r in data if r.done_at is not None]
+        assert done, name
+        for r in done:
+            assert r.done_at >= r.issued_at
+
+
+def test_interval_walls_sum_to_execution_cycles(analyses):
+    for name, analysis in analyses.items():
+        total = sum(iv.wall for iv in analysis.intervals)
+        assert total == pytest.approx(analysis.execution_cycles,
+                                      rel=0.01), name
+        # Intervals tile [0, T] without gaps.
+        assert analysis.intervals[0].begin == 0
+        assert analysis.intervals[-1].end == pytest.approx(
+            analysis.execution_cycles)
+        for prev, cur in zip(analysis.intervals, analysis.intervals[1:]):
+            assert cur.begin == pytest.approx(prev.end)
+
+
+def test_interval_decomposition_covers_wall(analyses):
+    for name, analysis in analyses.items():
+        for iv in analysis.intervals:
+            parts = iv.busy + iv.data + iv.sync + iv.ipc
+            assert parts == pytest.approx(iv.wall, rel=1e-6, abs=1e-3), \
+                (name, iv.index)
+
+
+def test_span_totals_match_time_breakdown(em3d_overlap, water_base,
+                                          em3d_aurc, analyses):
+    results = {"em3d": em3d_overlap, "water": water_base,
+               "aurc": em3d_aurc}
+    for name, analysis in analyses.items():
+        check = analysis.compare_with(results[name].breakdowns)
+        for category, row in check.items():
+            assert row["rel_err"] <= 0.01, (name, category, row)
+
+
+def test_blame_tables_populated(analyses):
+    em3d = analyses["em3d"]
+    assert em3d.blame_pages(top=3)
+    for page, cycles, count in em3d.blame_pages(top=3):
+        assert cycles > 0 and count > 0
+    assert em3d.blame_peers(top=3)
+    # Water's molecule updates are lock-protected: lock blame exists.
+    water = analyses["water"]
+    assert water.blame_locks(top=3)
+    lock, cycles, count = water.blame_locks(top=3)[0]
+    assert cycles > 0 and count > 0
+
+
+def test_blame_totals_bounded_by_stall_time(analyses):
+    for name, analysis in analyses.items():
+        stalled = sum(s.effective for s in analysis.stalls
+                      if s.kind == "data")
+        paged = sum(c for _, c, _ in analysis.blame_pages(top=10_000))
+        assert paged <= stalled + 1e-6, name
+
+
+def test_data_request_leg_decomposition(analyses):
+    legs = analyses["em3d"].data_leg_totals()
+    assert legs["requests"] > 0
+    parts = (legs["queue_wait"] + legs["local_service"]
+             + legs["remote_service"] + legs["wire"] + legs["other"])
+    assert parts == pytest.approx(legs["latency"], rel=1e-6, abs=1e-3)
+    assert legs["wire"] > 0 and legs["remote_service"] > 0
+
+
+def test_collapsed_stack_format(analyses):
+    lines = analyses["em3d"].collapsed_stacks()
+    assert lines
+    for line in lines:
+        frames, weight = line.rsplit(" ", 1)
+        assert float(weight) > 0
+        assert frames.split(";")[0].startswith("node")
+    assert any(";busy" in line for line in lines)
+    assert any(";data;" in line for line in lines)
+
+
+def test_report_and_json_render(em3d_overlap, analyses):
+    analysis = analyses["em3d"]
+    text = analysis.format_report(top=3,
+                                  breakdowns=em3d_overlap.breakdowns)
+    assert "critical path" in text
+    assert "hottest pages" in text
+    doc = json.loads(json.dumps(analysis.to_json(top=3)))
+    assert doc["requests"]["orphans"] == 0
+    assert doc["critical_path"]
+    assert {"pages", "locks", "peers"} <= set(doc["blame"])
+
+
+def test_analysis_from_saved_jsonl_matches_live(tmp_path, em3d_overlap):
+    live = analyze_run(em3d_overlap)
+    path = str(tmp_path / "trace.jsonl")
+    write_trace(em3d_overlap.tracer, path)
+    loaded = analyze_events(load_trace_file(path),
+                            em3d_overlap.execution_cycles,
+                            em3d_overlap.finish_times)
+    assert len(loaded.requests) == len(live.requests)
+    assert loaded.orphans == live.orphans
+    assert loaded.totals == pytest.approx(live.totals)
+    assert [iv.wall for iv in loaded.intervals] == pytest.approx(
+        [iv.wall for iv in live.intervals])
+
+
+def test_analyze_run_requires_tracer():
+    result = run_app(scaled_app("Em3d", 2, quick=True),
+                     ProtocolConfig.treadmarks("Base"), verify=False)
+    with pytest.raises(ValueError):
+        analyze_run(result)
+
+
+def test_prefetch_requests_flagged_and_in_flight_tracked(em3d_overlap,
+                                                         analyses):
+    analysis = analyses["em3d"]
+    prefetched = [r for r in analysis.requests.values() if r.prefetch]
+    # TreadMarks sends one diff request per (page, concurrent writer):
+    # every one of them is tracked and flagged as prefetch-caused.
+    stats = em3d_overlap.protocol_stats.prefetch
+    assert len(prefetched) == stats.diff_requests
+    assert all(r.kind == "DiffRequest" for r in prefetched)
+    # In-flight requests (no done leg before the cutoff) are counted,
+    # not reported as orphans.
+    assert set(analysis.in_flight).isdisjoint(analysis.orphans)
+
+
+# -- prefetch outcome classification vs. trace spans ---------------------------
+
+@pytest.mark.parametrize("fixture_name", ["em3d_overlap", "em3d_aurc"])
+def test_prefetch_trace_events_agree_with_counters(fixture_name, request):
+    result = request.getfixturevalue(fixture_name)
+    stats = result.protocol_stats.prefetch
+    assert stats.issued > 0
+    by_action = {}
+    for event in result.tracer.select("prefetch"):
+        action = event.payload["action"]
+        by_action[action] = by_action.get(action, 0) + 1
+    assert by_action.get("issue", 0) == stats.issued
+    assert by_action.get("hit", 0) == stats.useful
+    assert by_action.get("late", 0) == stats.late
+    assert by_action.get("useless", 0) == stats.useless

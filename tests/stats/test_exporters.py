@@ -7,6 +7,7 @@ from repro.sim import Simulator
 from repro.sim.trace import Tracer
 from repro.stats.exporters import (
     load_trace_file,
+    load_trace_meta,
     summarize_events,
     trace_to_chrome,
     trace_to_jsonl,
@@ -30,9 +31,12 @@ def _tracer_with_events():
 def test_jsonl_one_object_per_line():
     tracer = _tracer_with_events()
     lines = trace_to_jsonl(tracer).strip().splitlines()
-    assert len(lines) == 3
+    assert len(lines) == 4  # 3 events + trailing meta record
     first = json.loads(lines[0])
     assert first["cat"] == "fault" and first["page"] == 7
+    meta = json.loads(lines[-1])
+    assert meta["cat"] == "_meta"
+    assert meta["events"] == 3 and meta["dropped"] == 0
 
 
 def test_chrome_spans_and_instants():
@@ -86,7 +90,10 @@ def test_write_and_load_jsonl(tmp_path):
 def test_empty_tracer_exports_cleanly(tmp_path):
     sim = Simulator()
     tracer = Tracer(sim)
-    assert trace_to_jsonl(tracer) == ""
+    # Only the meta record remains for an empty trace.
+    lines = trace_to_jsonl(tracer).strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["cat"] == "_meta"
     doc = trace_to_chrome(tracer)
     assert doc["traceEvents"] == []
     path = str(tmp_path / "empty.json")
@@ -102,3 +109,25 @@ def test_dropped_count_recorded():
     tracer.maybe("x")
     doc = trace_to_chrome(tracer)
     assert doc["otherData"]["dropped_events"] == 1
+
+
+def test_load_trace_meta_round_trips_both_formats(tmp_path):
+    sim = Simulator()
+    tracer = Tracer(sim, limit=2)
+    tracer.enable("x")
+    for _ in range(3):
+        tracer.maybe("x")
+    for name in ("t.jsonl", "t.json"):
+        path = str(tmp_path / name)
+        write_trace(tracer, path)
+        meta = load_trace_meta(path)
+        assert meta["events"] == 2, name
+        assert meta["dropped"] == 1, name
+        # The meta record never leaks into the event stream.
+        assert len(load_trace_file(path)) == 2, name
+
+
+def test_load_trace_meta_missing_for_legacy_files(tmp_path):
+    path = tmp_path / "legacy.jsonl"
+    path.write_text('{"t": 0, "cat": "fault"}\n')
+    assert load_trace_meta(str(path)) == {}
