@@ -1,16 +1,25 @@
 """Benchmark regression harness: record per-config timing archives.
 
-Runs a fixed matrix of quick app x protocol configurations and writes a
-``repro-bench/1`` JSON archive (default ``BENCH_pr2.json``): simulated
-execution cycles, host wall-clock seconds, and the per-category time
-fractions (busy / data / synch / ipc / others, plus the overlapping
-diff fraction) for each configuration.  CI runs this on every push and
-uploads the archive as an artifact, so regressions in either simulated
-timing or simulator throughput show up as diffs between runs.
+Runs a fixed matrix of quick app x protocol configurations (see
+:mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
+(default ``BENCH_pr2.json``): simulated execution cycles, host
+wall-clock seconds, and the per-category time fractions (busy / data /
+synch / ipc / others, plus the overlapping diff fraction) for each
+configuration.  CI runs this on every push and uploads the archive as
+an artifact, so regressions in either simulated timing or simulator
+throughput show up as diffs between runs.
+
+The matrix goes through the parallel sweep layer: ``--jobs N`` fans the
+configurations out over a process pool, and the on-disk result cache
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with
+``--no-cache``) makes a re-run on unchanged code near-instant.
+Cache-served rows carry ``"cached": true`` plus the wall time of the
+original computation.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr2.json
+    PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
@@ -21,61 +30,21 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
-import time
+import os
 
+from repro.harness.bench import (
+    CONFIGS,
+    SCHEMA,
+    build_archive,
+    config_for,
+    run_matrix,
+)
 from repro.harness.experiments import scaled_app
-from repro.harness.runner import ProtocolConfig, run_app
-from repro.stats.breakdown import Category
+from repro.harness.parallel import ResultCache, SweepRunner
+from repro.harness.runner import run_app
 from repro.stats.report import RunReport
 
-# The regression matrix: small enough for CI, wide enough to cover the
-# base protocol, the full overlap pipeline (prefetch + controller), and
-# AURC's update-based path.
-CONFIGS = (
-    ("Em3d", "Base"),
-    ("Em3d", "I+P+D"),
-    ("Water", "Base"),
-    ("Water", "aurc"),
-)
-
-SCHEMA = "repro-bench/1"
-
-
-def _config_for(protocol: str) -> ProtocolConfig:
-    if protocol.lower().startswith("aurc"):
-        return ProtocolConfig.aurc(prefetch="prefetch" in protocol.lower())
-    return ProtocolConfig.treadmarks(protocol)
-
-
-def run_matrix(procs: int = 4, quick: bool = True,
-               configs=CONFIGS) -> list:
-    """Run every configuration; returns the archive's ``runs`` rows."""
-    rows = []
-    for app_name, protocol in configs:
-        app = scaled_app(app_name, procs, quick=quick)
-        start = time.perf_counter()
-        result = run_app(app, _config_for(protocol))
-        wall = time.perf_counter() - start
-        merged = result.merged_breakdown
-        fractions = {category.value: merged.fraction(category)
-                     for category in Category}
-        rows.append({
-            "app": app_name,
-            "protocol": result.protocol_label,
-            "n_procs": procs,
-            "quick": quick,
-            "execution_cycles": result.execution_cycles,
-            "wall_seconds": wall,
-            "fractions": fractions,
-            "diff_fraction": (merged.diff_cycles / merged.total
-                              if merged.total else 0.0),
-            "verified": result.verified,
-        })
-        print(f"  {app_name:8s} {result.protocol_label:12s} "
-              f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
-              f"{wall:6.2f} s")
-    return rows
+__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "main"]
 
 
 def main(argv=None) -> int:
@@ -87,29 +56,35 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use full problem sizes (slow; default is "
                              "the quick sizes CI uses)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count(),
+                        help="worker processes for the matrix "
+                             "(default: all cores; 1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache")
     parser.add_argument("--report", metavar="FILE", default=None,
                         help="also run one traced configuration and "
                              "write its RunReport v2 JSON to FILE")
     args = parser.parse_args(argv)
 
     quick = not args.full
+    cache = None if args.no_cache else ResultCache()
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
     print(f"benchmark regression: {len(CONFIGS)} configs, "
-          f"{args.procs} procs, {'quick' if quick else 'full'} sizes")
-    doc = {
-        "schema": SCHEMA,
-        "generated_by": "benchmarks/regression.py",
-        "python": platform.python_version(),
-        "runs": run_matrix(procs=args.procs, quick=quick),
-    }
+          f"{args.procs} procs, {'quick' if quick else 'full'} sizes, "
+          f"jobs={runner.jobs}, "
+          f"cache={'off' if cache is None else cache.root}")
+    rows = run_matrix(procs=args.procs, quick=quick, runner=runner)
+    doc = build_archive(rows, runner=runner)
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    print(f"cache: {runner.stats.summary()}")
     print(f"archive -> {args.out}")
 
     if args.report is not None:
         app_name, protocol = CONFIGS[1]  # the full overlap pipeline
         app = scaled_app(app_name, args.procs, quick=quick)
-        result = run_app(app, _config_for(protocol), verify=False,
+        result = run_app(app, config_for(protocol), verify=False,
                          trace=True, metrics=True)
         with open(args.report, "w") as fh:
             json.dump(RunReport(result).to_json(), fh)

@@ -12,7 +12,16 @@ Commands
 ``figure N``
     Regenerate one of the paper's figures (1, 2, 5-11, 13-16; 12 is an
     alias for 11 -- the paper presents the TreadMarks/AURC comparison
-    as figures 11 and 12) and print the table.
+    as figures 11 and 12) and print the table.  Independent runs fan
+    out over ``--jobs N`` worker processes and are memoized in the
+    on-disk result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+    ``--no-cache`` disables it), so regenerating a figure -- or a
+    second figure sharing the same baselines -- is near-instant.
+
+``bench``
+    Run the benchmark regression matrix (the same one
+    ``benchmarks/regression.py`` records) and optionally write the
+    ``repro-bench/1`` archive.
 
 ``analyze APP``
     Run one application with request-lifecycle spans enabled and print
@@ -44,7 +53,9 @@ Examples::
         --trace /tmp/em3d.json --metrics /tmp/em3d-metrics.json
     python -m repro analyze Em3d --protocol I+P+D --quick --procs 4
     python -m repro figure 1 --quick
+    python -m repro figure 13 --quick --jobs 4
     python -m repro figure 5 --app Ocean
+    python -m repro bench --out BENCH_pr2.json --jobs 2
     python -m repro metrics /tmp/em3d-metrics.json
     python -m repro trace /tmp/em3d.json --category fault --limit 20
     python -m repro validate BENCH_pr2.json /tmp/em3d-metrics.json
@@ -54,10 +65,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.dsm.overlap import ALL_MODES
 from repro.harness import experiments, figures
+from repro.harness.parallel import ResultCache, SimRequest, SweepRunner
 from repro.harness.runner import ProtocolConfig, run_app
 from repro.stats.exporters import (
     load_trace_file,
@@ -66,6 +79,21 @@ from repro.stats.exporters import (
     write_trace,
 )
 from repro.stats.report import RunReport, format_run, validate_report
+
+
+def _add_sweep_flags(parser, default_jobs) -> None:
+    parser.add_argument("--jobs", type=int, default=default_jobs,
+                        help="worker processes for independent runs "
+                             "(1 = serial in-process; default: "
+                             f"{default_jobs})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _make_runner(args) -> SweepRunner:
+    cache = None if args.no_cache else ResultCache()
+    return SweepRunner(jobs=args.jobs, cache=cache)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -95,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--metrics", metavar="FILE", default=None,
                        help="record metrics and write the JSON run "
                             "report to FILE")
+    _add_sweep_flags(run_p, default_jobs=1)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int,
@@ -107,6 +136,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="application for figures 5-10 "
                             "(default: the figure's own app)")
     fig_p.add_argument("--quick", action="store_true")
+    _add_sweep_flags(fig_p, default_jobs=os.cpu_count() or 1)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the benchmark regression matrix")
+    bench_p.add_argument("--out", metavar="FILE", default=None,
+                         help="write the repro-bench/1 archive to FILE")
+    bench_p.add_argument("--procs", type=int, default=4)
+    bench_p.add_argument("--full", action="store_true",
+                         help="use full problem sizes (slow; default is "
+                              "the quick sizes CI uses)")
+    _add_sweep_flags(bench_p, default_jobs=os.cpu_count() or 1)
 
     an_p = sub.add_parser(
         "analyze",
@@ -162,10 +202,30 @@ def _cmd_run(args) -> int:
         config = ProtocolConfig.aurc(prefetch=args.prefetch)
     else:
         config = ProtocolConfig.treadmarks(args.protocol)
+    if args.trace is None and args.metrics is None:
+        # No observability requested: route through the sweep layer so
+        # repeat invocations are served from the result cache.
+        runner = _make_runner(args)
+        result = runner.run(SimRequest.for_app(
+            args.app, args.procs, config, quick=args.quick,
+            verify=not args.no_verify))
+        print(format_run(result, verbose=args.verbose))
+        if result.verified:
+            print("result verified against the reference solution")
+        if result.cached:
+            print(f"served from cache (originally simulated in "
+                  f"{result.wall_seconds:.2f} s)")
+        else:
+            print(f"simulated in {result.wall_seconds:.2f} s")
+        return 0
+    import time
+
     app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
+    start = time.perf_counter()
     result = run_app(app, config, verify=not args.no_verify,
                      trace=args.trace is not None,
                      metrics=args.metrics is not None)
+    wall = time.perf_counter() - start
     print(format_run(result, verbose=args.verbose))
     if result.verified:
         print("result verified against the reference solution")
@@ -174,7 +234,8 @@ def _cmd_run(args) -> int:
         print(f"trace: {len(result.tracer.events)} events "
               f"({result.tracer.dropped} dropped) -> {args.trace}")
     if args.metrics is not None:
-        report = RunReport(result)
+        report = RunReport(result,
+                           metadata={"wall_seconds": round(wall, 3)})
         with open(args.metrics, "w") as fh:
             json.dump(report.to_json(), fh)
         print(f"metrics report -> {args.metrics}")
@@ -215,38 +276,63 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_figure(args) -> int:
     quick = args.quick
+    runner = _make_runner(args)
     n = args.number
     if n == 12:
         n = 11  # the comparison spans paper figures 11 and 12
     if n == 1:
         print(figures.render_speedups(
-            experiments.fig1_speedups(quick=quick)))
+            experiments.fig1_speedups(quick=quick, runner=runner)))
     elif n == 2:
         print(figures.render_breakdown(
-            experiments.fig2_breakdown(quick=quick)))
+            experiments.fig2_breakdown(quick=quick, runner=runner)))
     elif n in _OVERLAP_FIGURES:
         app = args.app or _OVERLAP_FIGURES[n]
         print(figures.render_overlap(
-            app, experiments.fig_overlap_modes(app, quick=quick)))
+            app, experiments.fig_overlap_modes(app, quick=quick,
+                                               runner=runner)))
     elif n == 11:
         print(figures.render_protocol_comparison(
-            experiments.fig11_12_protocol_comparison(quick=quick)))
+            experiments.fig11_12_protocol_comparison(quick=quick,
+                                                     runner=runner)))
     elif n == 13:
         print(figures.render_sweep(
             "Figure 13 -- messaging overhead (us)", "us",
-            experiments.fig13_messaging_overhead(quick=quick)))
+            experiments.fig13_messaging_overhead(quick=quick,
+                                                 runner=runner)))
     elif n == 14:
         print(figures.render_sweep(
             "Figure 14 -- network bandwidth (MB/s)", "MB/s",
-            experiments.fig14_network_bandwidth(quick=quick)))
+            experiments.fig14_network_bandwidth(quick=quick,
+                                                runner=runner)))
     elif n == 15:
         print(figures.render_sweep(
             "Figure 15 -- memory latency (ns)", "ns",
-            experiments.fig15_memory_latency(quick=quick)))
+            experiments.fig15_memory_latency(quick=quick,
+                                             runner=runner)))
     elif n == 16:
         print(figures.render_sweep(
             "Figure 16 -- memory bandwidth (MB/s)", "MB/s",
-            experiments.fig16_memory_bandwidth(quick=quick)))
+            experiments.fig16_memory_bandwidth(quick=quick,
+                                               runner=runner)))
+    print(f"[{runner.stats.summary()}]")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import build_archive, run_matrix
+
+    runner = _make_runner(args)
+    rows = run_matrix(procs=args.procs, quick=not args.full,
+                      runner=runner)
+    print(f"[{runner.stats.summary()}]")
+    if args.out is not None:
+        doc = build_archive(rows, runner=runner,
+                            generated_by="repro bench")
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"archive -> {args.out}")
     return 0
 
 
@@ -391,6 +477,8 @@ def main(argv=None) -> int:
         return _cmd_analyze(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":

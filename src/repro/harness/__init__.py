@@ -1,5 +1,12 @@
 """Experiment harness: run configurations and figure regeneration."""
 
+from repro.harness.parallel import (
+    ResultCache,
+    SimRequest,
+    SimResult,
+    SweepRunner,
+)
 from repro.harness.runner import ProtocolConfig, RunResult, run_app
 
-__all__ = ["ProtocolConfig", "RunResult", "run_app"]
+__all__ = ["ProtocolConfig", "RunResult", "run_app",
+           "ResultCache", "SimRequest", "SimResult", "SweepRunner"]

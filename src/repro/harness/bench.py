@@ -1,0 +1,97 @@
+"""Benchmark regression matrix, shared by ``repro bench`` and
+``benchmarks/regression.py``.
+
+Runs a fixed matrix of quick app x protocol configurations through the
+parallel sweep layer and produces ``repro-bench/1`` archive rows:
+simulated execution cycles, host wall-clock seconds, per-category time
+fractions, and whether the row was served from the result cache.  With
+an attached :class:`~repro.harness.parallel.ResultCache`, a re-run on
+unchanged code is near-instant -- every row is a cache hit.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Optional, Sequence, Tuple
+
+from repro.harness.parallel import SimRequest, SweepRunner
+from repro.harness.runner import ProtocolConfig
+from repro.stats.breakdown import Category
+
+__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "build_archive"]
+
+# The regression matrix: small enough for CI, wide enough to cover the
+# base protocol, the full overlap pipeline (prefetch + controller), and
+# AURC's update-based path.
+CONFIGS: Tuple[Tuple[str, str], ...] = (
+    ("Em3d", "Base"),
+    ("Em3d", "I+P+D"),
+    ("Water", "Base"),
+    ("Water", "aurc"),
+)
+
+SCHEMA = "repro-bench/1"
+
+
+def config_for(protocol: str) -> ProtocolConfig:
+    if protocol.lower().startswith("aurc"):
+        return ProtocolConfig.aurc(prefetch="prefetch" in protocol.lower())
+    return ProtocolConfig.treadmarks(protocol)
+
+
+def run_matrix(procs: int = 4, quick: bool = True,
+               configs: Sequence[Tuple[str, str]] = CONFIGS,
+               runner: Optional[SweepRunner] = None,
+               echo=print) -> list:
+    """Run every configuration; returns the archive's ``runs`` rows.
+
+    ``wall_seconds`` is the wall time the simulation actually took when
+    it was computed (preserved across cache hits); ``cached`` records
+    whether this invocation recomputed the row or served it from cache.
+    """
+    runner = runner if runner is not None else SweepRunner(jobs=1)
+    requests = [
+        SimRequest.for_app(app_name, procs, config_for(protocol),
+                           quick=quick, verify=True)
+        for app_name, protocol in configs
+    ]
+    results = runner.run_batch(requests)
+
+    rows = []
+    for (app_name, _protocol), result in zip(configs, results):
+        merged = result.merged_breakdown
+        fractions = {category.value: merged.fraction(category)
+                     for category in Category}
+        rows.append({
+            "app": app_name,
+            "protocol": result.protocol_label,
+            "n_procs": procs,
+            "quick": quick,
+            "execution_cycles": result.execution_cycles,
+            "wall_seconds": result.wall_seconds,
+            "cached": result.cached,
+            "fractions": fractions,
+            "diff_fraction": (merged.diff_cycles / merged.total
+                              if merged.total else 0.0),
+            "verified": result.verified,
+        })
+        if echo is not None:
+            origin = "cached" if result.cached else "simulated"
+            echo(f"  {app_name:8s} {result.protocol_label:12s} "
+                 f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
+                 f"{result.wall_seconds:6.2f} s  [{origin}]")
+    return rows
+
+
+def build_archive(rows: list, runner: Optional[SweepRunner] = None,
+                  generated_by: str = "benchmarks/regression.py") -> dict:
+    """Assemble the ``repro-bench/1`` document around ``runs`` rows."""
+    doc = {
+        "schema": SCHEMA,
+        "generated_by": generated_by,
+        "python": platform.python_version(),
+        "runs": rows,
+    }
+    if runner is not None:
+        doc["execution"] = runner.stats.as_metadata()
+    return doc

@@ -1,0 +1,426 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every paper figure is an app x protocol x machine-parameter matrix of
+*independent* simulations, yet the original harness ran them strictly
+serially and figures 13-16 each re-simulated the same default-parameter
+baselines.  This module supplies the missing execution layer:
+
+* :class:`SimRequest` -- a picklable, declarative description of one
+  simulation (application + size knobs, :class:`ProtocolConfig`,
+  :class:`MachineParams`, verify flag).  Its :meth:`~SimRequest
+  .fingerprint` is a content-addressed key over every input that can
+  change the simulated outcome, plus a *code salt* hashed from the
+  package sources so any code change invalidates old entries.
+* :class:`ResultCache` -- an on-disk store (``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``) of :meth:`RunResult.to_json` documents keyed by
+  fingerprint.  Corrupt or foreign entries read as misses.
+* :class:`SweepRunner` -- executes batches of requests, deduplicating
+  identical requests, consulting an in-memory memo plus the optional
+  disk cache, and fanning cache misses out over a
+  ``ProcessPoolExecutor`` (``jobs=1`` stays fully in-process for
+  debugging).  Results come back as :class:`SimResult` views that are
+  drop-in replacements for live :class:`RunResult` objects.
+
+Determinism contract: the simulation kernel is single-threaded and
+seed-free, so a request's result is a pure function of its fingerprint
+inputs.  Serial, parallel, and cached executions of the same request
+must therefore be bit-identical; ``tests/harness/test_parallel.py``
+enforces this cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsm.prefetch import PrefetchStats
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.hardware.params import MachineParams
+from repro.stats.breakdown import Category, TimeBreakdown
+
+__all__ = [
+    "SimRequest", "SimResult", "ResultCache", "SweepRunner",
+    "SweepStats", "code_salt", "default_cache_dir", "execute_request",
+    "CACHE_SCHEMA",
+]
+
+CACHE_SCHEMA = "repro-cache/1"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+_CODE_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of the package sources; part of every fingerprint.
+
+    Hashing every ``.py`` file under ``repro`` means any change to the
+    kernel, hardware models, protocols, applications, or harness
+    invalidates previously cached results -- the cache can only ever
+    return what the current code would recompute.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _CODE_SALT = digest.hexdigest()[:16]
+    return _CODE_SALT
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """Declarative description of one simulation run.
+
+    ``size_kwargs`` is a sorted tuple of (name, value) pairs passed to
+    the application factory, so requests hash and compare by value.
+    ``params=None`` means the default :class:`MachineParams` (adjusted
+    to ``nprocs``, exactly as ``run_app`` would).
+    """
+
+    app_name: str
+    nprocs: int
+    config: ProtocolConfig
+    params: Optional[MachineParams] = None
+    size_kwargs: Tuple[Tuple[str, object], ...] = ()
+    verify: bool = False
+
+    @staticmethod
+    def for_app(app_name: str, nprocs: int, config: ProtocolConfig,
+                params: Optional[MachineParams] = None,
+                quick: bool = False, verify: bool = False) -> "SimRequest":
+        """Build a request using the experiment layer's size registry."""
+        from repro.harness.experiments import quick_sizes
+        sizes = quick_sizes(app_name) if quick else {}
+        return SimRequest(app_name=app_name, nprocs=nprocs, config=config,
+                          params=params,
+                          size_kwargs=tuple(sorted(sizes.items())),
+                          verify=verify)
+
+    @property
+    def label(self) -> str:
+        return f"{self.app_name}/{self.config.label}/{self.nprocs}p"
+
+    def resolved_params(self) -> MachineParams:
+        """The effective machine parameters (as ``run_app`` resolves them)."""
+        params = self.params or MachineParams()
+        if params.n_processors != self.nprocs:
+            params = params.replace(n_processors=self.nprocs)
+        return params
+
+    def payload(self, salt: Optional[str] = None) -> dict:
+        """The exact dict the fingerprint hashes (also archived in cache
+        entries as provenance)."""
+        mode = self.config.mode
+        return {
+            "schema": CACHE_SCHEMA,
+            "salt": code_salt() if salt is None else salt,
+            "app": self.app_name,
+            "nprocs": self.nprocs,
+            "sizes": dict(self.size_kwargs),
+            "config": {
+                "family": self.config.family,
+                "mode": {
+                    "name": mode.name,
+                    "offload": mode.offload,
+                    "hardware_diffs": mode.hardware_diffs,
+                    "prefetch": mode.prefetch,
+                },
+                "prefetch": self.config.prefetch,
+            },
+            "params": dataclasses.asdict(self.resolved_params()),
+            "verify": self.verify,
+        }
+
+    def fingerprint(self, salt: Optional[str] = None) -> str:
+        blob = json.dumps(self.payload(salt), sort_keys=True,
+                          separators=(",", ":"), default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def execute_request(request: SimRequest) -> dict:
+    """Run one simulation in the current process; returns its JSON doc.
+
+    This is the process-pool worker: it must stay module-level (picklable
+    by reference) and return only plain data.  ``REPRO_REPORT_DIR``
+    archiving (one RunReport per simulation) happens here, so reports are
+    written exactly for the simulations that actually ran.
+    """
+    from repro.harness.experiments import APP_FACTORIES, archive_report
+    app = APP_FACTORIES[request.app_name](request.nprocs,
+                                          **dict(request.size_kwargs))
+    report_dir = os.environ.get("REPRO_REPORT_DIR", "")
+    start = time.perf_counter()
+    result = run_app(app, request.config, params=request.params,
+                     verify=request.verify, metrics=bool(report_dir))
+    wall = time.perf_counter() - start
+    if report_dir:
+        archive_report(report_dir, request.app_name, request.nprocs,
+                       request.config, result)
+    doc = result.to_json()
+    doc["wall_seconds"] = wall
+    return doc
+
+
+class _Namespace:
+    """Attribute bag used to duck-type stats/network objects."""
+
+    def __init__(self, **attrs):
+        self.__dict__.update(attrs)
+
+
+class SimResult:
+    """A :class:`RunResult` look-alike reconstructed from its JSON doc.
+
+    Exposes everything the figure functions and ``format_run`` consume
+    (``execution_cycles``, ``merged_breakdown``, ``category_fraction``,
+    ``diff_fraction``, ``protocol_stats`` with prefetch counters,
+    ``network``), plus execution metadata: ``cached`` and
+    ``wall_seconds`` (the *compute* wall time, preserved across cache
+    hits).
+    """
+
+    def __init__(self, doc: dict, request: Optional[SimRequest] = None,
+                 cached: bool = False):
+        self.doc = doc
+        self.request = request
+        self.cached = cached
+        self.app_name = doc["app"]
+        self.protocol_label = doc["protocol"]
+        self.n_procs = doc["n_procs"]
+        self.execution_cycles = doc["execution_cycles"]
+        self.finish_times = list(doc.get("finish_times", []))
+        self.verified = bool(doc.get("verified", False))
+        self.wall_seconds = float(doc.get("wall_seconds", 0.0))
+        self.controller_diff_cycles = list(
+            doc.get("controller_diff_cycles", []))
+
+    @property
+    def merged_breakdown(self) -> TimeBreakdown:
+        merged = TimeBreakdown()
+        data = self.doc.get("breakdown", {})
+        for category in Category:
+            merged.charge(category, data.get(category.value, 0.0))
+        merged.charge_diff(data.get("diff", 0.0))
+        return merged
+
+    def category_fraction(self, category: Category) -> float:
+        return self.merged_breakdown.fraction(category)
+
+    def diff_fraction(self) -> float:
+        return float(self.doc.get("diff_fraction", 0.0))
+
+    @property
+    def network(self):
+        net = self.doc.get("network", {})
+        mean = net.get("mean_latency", 0.0)
+        return _Namespace(
+            messages=net.get("messages", 0),
+            bytes=net.get("bytes", 0),
+            per_class_bytes=dict(net.get("per_class_bytes", {})),
+            mean_latency=lambda: mean,
+        )
+
+    @property
+    def protocol_stats(self):
+        counters = dict(self.doc.get("protocol_counters", {}))
+        prefetch = PrefetchStats(**self.doc.get("prefetch", {}))
+        return _Namespace(prefetch=prefetch, **counters)
+
+    def to_json(self) -> dict:
+        return dict(self.doc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        origin = "cached" if self.cached else "computed"
+        return (f"<SimResult {self.app_name}/{self.protocol_label}/"
+                f"{self.n_procs}p {origin}>")
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized run results.
+
+    Entries are sharded by the first two key hex digits and written via
+    a temp-file rename, so concurrent writers (the process pool, or two
+    figure invocations racing) can never expose a torn entry.  Any
+    unreadable, foreign-schema, or structurally incomplete entry is
+    treated as a miss and recomputed.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        try:
+            with open(self.path_for(key)) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+            return None
+        doc = entry.get("result")
+        if not isinstance(doc, dict) or "execution_cycles" not in doc:
+            return None
+        return doc
+
+    def put(self, key: str, doc: dict,
+            request_payload: Optional[dict] = None) -> None:
+        entry = {"schema": CACHE_SCHEMA, "key": key, "result": doc}
+        if request_payload is not None:
+            entry["request"] = request_payload
+        path = self.path_for(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache directory must never fail a run.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+@dataclass
+class SweepStats:
+    """Cumulative hit/miss and wall-time counters for one runner."""
+
+    hits: int = 0            # served from memo or disk (incl. in-batch dups)
+    misses: int = 0          # simulations actually executed
+    compute_seconds: float = 0.0   # total simulate wall across misses
+    batch_seconds: float = 0.0     # wall spent inside run_batch calls
+    per_run: List[dict] = field(default_factory=list)
+
+    def note_run(self, request: SimRequest, cached: bool,
+                 wall_seconds: float) -> None:
+        self.per_run.append({"run": request.label, "cached": cached,
+                             "wall_seconds": wall_seconds})
+
+    def as_metadata(self) -> dict:
+        """Summary dict for RunReport metadata / CLI footers."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "compute_seconds": round(self.compute_seconds, 3),
+            "batch_seconds": round(self.batch_seconds, 3),
+        }
+
+    def summary(self) -> str:
+        return (f"{self.hits} cache hits, {self.misses} misses, "
+                f"{self.compute_seconds:.2f}s simulated compute in "
+                f"{self.batch_seconds:.2f}s wall")
+
+
+class SweepRunner:
+    """Executes batches of :class:`SimRequest` with memoized results.
+
+    ``jobs=1`` (the default for library callers) runs every miss
+    in-process and serially -- the debugging-friendly mode.  ``jobs=N``
+    fans misses out over a ``ProcessPoolExecutor``; ``jobs=None`` means
+    ``os.cpu_count()``.  ``cache`` is an optional :class:`ResultCache`;
+    without one the runner still deduplicates within its own lifetime
+    via the in-memory memo (so e.g. figure 13's sweep point that equals
+    the default parameters is simulated once).
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None,
+                 salt: Optional[str] = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.salt = code_salt() if salt is None else salt
+        self.stats = SweepStats()
+        self._memo: Dict[str, dict] = {}
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, request: SimRequest) -> SimResult:
+        return self.run_batch([request])[0]
+
+    def run_batch(self, requests: Sequence[SimRequest]) -> List[SimResult]:
+        """Execute ``requests``; returns results in request order.
+
+        Identical requests (same fingerprint) are simulated at most
+        once.  Results for executed requests are committed to the disk
+        cache (when attached) before returning.
+        """
+        batch_start = time.perf_counter()
+        keys = [request.fingerprint(self.salt) for request in requests]
+        plan: List[Tuple[str, str]] = []     # (kind, key) per occurrence
+        to_run: Dict[str, SimRequest] = {}   # insertion-ordered
+        for key, request in zip(keys, requests):
+            doc = self._memo.get(key)
+            if doc is None and key not in to_run and self.cache is not None:
+                doc = self.cache.get(key)
+                if doc is not None:
+                    self._memo[key] = doc
+            if doc is not None:
+                plan.append(("hit", key))
+            elif key in to_run:
+                plan.append(("dup", key))
+            else:
+                to_run[key] = request
+                plan.append(("run", key))
+        self._execute(to_run)
+        self.stats.batch_seconds += time.perf_counter() - batch_start
+
+        results: List[SimResult] = []
+        for (kind, key), request in zip(plan, requests):
+            cached = kind != "run"
+            result = SimResult(self._memo[key], request=request,
+                               cached=cached)
+            if cached:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self.stats.compute_seconds += result.wall_seconds
+            self.stats.note_run(request, cached, result.wall_seconds)
+            results.append(result)
+        return results
+
+    def _execute(self, to_run: Dict[str, SimRequest]) -> None:
+        if not to_run:
+            return
+        items = list(to_run.items())
+        if self.jobs > 1 and len(items) > 1:
+            workers = min(self.jobs, len(items))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                docs = list(pool.map(execute_request,
+                                     [request for _key, request in items],
+                                     chunksize=1))
+        else:
+            docs = [execute_request(request) for _key, request in items]
+        for (key, request), doc in zip(items, docs):
+            self._memo[key] = doc
+            if self.cache is not None:
+                self.cache.put(key, doc,
+                               request_payload=request.payload(self.salt))

@@ -10,6 +10,7 @@ DSM -- outside the timed region.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -90,9 +91,15 @@ class RunResult:
         return self.merged_breakdown.fraction(category)
 
     def to_json(self) -> dict:
-        """Plain-JSON summary for downstream tooling/archiving."""
+        """Plain-JSON summary for downstream tooling/archiving.
+
+        The document is complete enough for
+        :class:`repro.harness.parallel.SimResult` to reconstruct
+        everything the figure functions and ``format_run`` consume, so
+        cached results are interchangeable with live ones.
+        """
         merged = self.merged_breakdown
-        return {
+        doc = {
             "app": self.app_name,
             "protocol": self.protocol_label,
             "n_procs": self.n_procs,
@@ -106,8 +113,16 @@ class RunResult:
                 "per_class_bytes": dict(self.network.per_class_bytes),
             },
             "diff_fraction": self.diff_fraction(),
+            "controller_diff_cycles": list(self.controller_diff_cycles),
             "verified": self.verified,
         }
+        if dataclasses.is_dataclass(self.protocol_stats):
+            counters = dataclasses.asdict(self.protocol_stats)
+            prefetch = counters.pop("prefetch", None)
+            doc["protocol_counters"] = counters
+            if prefetch is not None:
+                doc["prefetch"] = prefetch
+        return doc
 
     def diff_fraction(self) -> float:
         """Twin+diff time (processor + controller) as a fraction of the
@@ -178,7 +193,10 @@ def run_app(app, config: ProtocolConfig,
     if sampler is not None:
         sampler.stop()
 
-    finish_times = [cluster[pid].cpu.finished_at or sim.now
+    # Compare against None explicitly: a worker may legitimately finish
+    # at cycle 0, and `or` would replace that with sim.now.
+    finish_times = [sim.now if cluster[pid].cpu.finished_at is None
+                    else cluster[pid].cpu.finished_at
                     for pid in range(app.nprocs)]
     execution_cycles = max(finish_times)
     breakdowns = [cluster[pid].cpu.breakdown.copy()

@@ -117,15 +117,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    The value is committed only when the scheduled time arrives, so
+    ``triggered`` stays False while the timeout is pending.  (Assigning
+    ``_value`` at construction would make ``Simulator.run(until=
+    sim.timeout(d))`` observe a triggered stop event immediately and
+    return at the current time instead of advancing the clock by ``d``.)
+    """
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
-        self._value = value
+        self._pending_value = value
         sim._schedule(self, delay)
+
+    def _resume_waiters(self) -> None:
+        if self._value is _PENDING and self._exception is None:
+            self._value = self._pending_value
+        super()._resume_waiters()
 
 
 class _ConditionValue:
@@ -277,7 +289,10 @@ class Process(Event):
                 f"process {self.name!r} yielded non-event {target!r}")
         if target.processed:
             # Already fired: re-inspect immediately on a fresh wakeup so we
-            # don't recurse arbitrarily deep.
+            # don't recurse arbitrarily deep.  The wakeup is recorded as
+            # `_waiting_on` so that interrupt() can detach the pending
+            # `_step` callback; otherwise the generator would be resumed
+            # twice (once with the value, once with Interrupt).
             wakeup = Event(self.sim)
             if target.ok:
                 wakeup._value = target._value
@@ -285,6 +300,7 @@ class Process(Event):
                 wakeup._exception = target._exception
                 wakeup._value = None
             wakeup.callbacks.append(self._step)
+            self._waiting_on = wakeup
             self.sim._schedule(wakeup, 0)
         else:
             self._waiting_on = target

@@ -45,7 +45,8 @@ class Resource:
       utilization.
     * ``wait_time`` -- total time requests spent queued before grant.
     * ``total_requests`` -- number of grants issued.
-    * ``peak_queue_length`` -- high-water mark of the pending queue.
+    * ``peak_queue_length`` -- high-water mark of requests left waiting
+      after a grant pass (uncontended requests never count).
     """
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
@@ -86,9 +87,13 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         req = Request(self, priority)
         self._enqueue(req)
+        self._grant()
+        # Record the peak only after the grant pass: an uncontended
+        # request is granted immediately and never waited, so it must
+        # not register a queue of length >= 1.  (PriorityResource
+        # shares this path; its overridden queue_length sees the heap.)
         self.peak_queue_length = max(self.peak_queue_length,
                                      self.queue_length)
-        self._grant()
         return req
 
     def release(self, request: Request) -> None:

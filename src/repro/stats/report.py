@@ -128,18 +128,35 @@ class RunReport:
     traced with request spans, a ``causal`` section: critical-path
     intervals and top-N blame tables from
     :mod:`repro.stats.causal`.
+
+    ``metadata`` (optional, and merged with any ``wall_seconds`` /
+    ``cached`` execution facts the result object itself carries, e.g. a
+    :class:`~repro.harness.parallel.SimResult`) lands under an
+    ``execution`` key: per-run wall time, cache hit/miss counters from
+    the sweep runner, and the job count used.
     """
 
     SCHEMA = "repro-run-report/2"
 
     def __init__(self, result, tracer=None, metrics=None,
-                 causal_top: int = 5):
+                 causal_top: int = 5, metadata: Optional[dict] = None):
         self.result = result
         self.tracer = tracer if tracer is not None \
             else getattr(result, "tracer", None)
         self.metrics = metrics if metrics is not None \
             else getattr(result, "metrics", None)
         self.causal_top = causal_top
+        self.metadata = metadata
+
+    def execution_metadata(self) -> dict:
+        meta = dict(self.metadata or {})
+        wall = getattr(self.result, "wall_seconds", None)
+        if wall is not None:
+            meta.setdefault("wall_seconds", wall)
+        cached = getattr(self.result, "cached", None)
+        if cached is not None:
+            meta.setdefault("cached", cached)
+        return meta
 
     def warnings(self) -> List[str]:
         notes = []
@@ -158,6 +175,9 @@ class RunReport:
         warnings = self.warnings()
         if warnings:
             doc["warnings"] = warnings
+        execution = self.execution_metadata()
+        if execution:
+            doc["execution"] = execution
         if self.metrics is not None:
             doc["metrics"] = self.metrics.to_json()
         if self.tracer is not None:
@@ -214,6 +234,8 @@ def validate_report(doc) -> List[str]:
             problems.append("'trace' must be an object")
         if "warnings" in doc and not isinstance(doc["warnings"], list):
             problems.append("'warnings' must be a list")
+        if "execution" in doc and not isinstance(doc["execution"], dict):
+            problems.append("'execution' must be an object")
     elif schema == "repro-bench/1":
         runs = doc.get("runs")
         if runs is not None:

@@ -1,0 +1,14 @@
+"""Shared fixtures: keep tests away from the user's real result cache."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point REPRO_CACHE_DIR at a per-test directory.
+
+    Anything that constructs a default ResultCache (the CLI paths in
+    particular) would otherwise read and write ~/.cache/repro during
+    the test run.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -146,3 +146,49 @@ def test_run_without_flags_prints_no_observability(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "trace:" not in out and "metrics report" not in out
+
+
+def test_run_second_invocation_served_from_cache(capsys):
+    argv = ["run", "Em3d", "--protocol", "Base", "--procs", "2",
+            "--quick", "--no-verify"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "simulated in" in first and "cache" not in first
+
+    assert main(argv) == 0
+    assert "served from cache" in capsys.readouterr().out
+
+    assert main(argv + ["--no-cache"]) == 0
+    assert "served from cache" not in capsys.readouterr().out
+
+
+def test_figure_accepts_jobs_and_no_cache(capsys):
+    code = main(["figure", "2", "--quick", "--jobs", "2", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "cache hits" in out  # the sweep-stats footer
+
+
+def test_bench_command_writes_valid_archive(tmp_path, capsys):
+    import json
+
+    out_file = str(tmp_path / "bench.json")
+    assert main(["bench", "--procs", "2", "--jobs", "1",
+                 "--out", out_file]) == 0
+    first = capsys.readouterr().out
+    assert "[simulated]" in first and "[cached]" not in first
+
+    with open(out_file) as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == "repro-bench/1"
+    assert doc["generated_by"] == "repro bench"
+    assert doc["execution"]["cache_misses"] == len(doc["runs"])
+    assert all(row["verified"] for row in doc["runs"])
+    assert main(["validate", out_file]) == 0
+    capsys.readouterr()
+
+    # Re-running against the populated cache serves every row.
+    assert main(["bench", "--procs", "2", "--jobs", "1"]) == 0
+    rerun = capsys.readouterr().out
+    assert "[cached]" in rerun and "[simulated]" not in rerun

@@ -83,6 +83,32 @@ def test_network_stats_populated():
     assert result.network.bytes > 0
 
 
+class _IdleZero:
+    """Two workers: pid 0 finishes at cycle 0, pid 1 computes."""
+
+    name = "idlezero"
+    nprocs = 2
+
+    def allocate(self, segment):
+        pass
+
+    def worker(self, api, pid):
+        if pid == 0:
+            return
+            yield  # pragma: no cover - makes this a generator
+        yield from api.compute(1000)
+
+
+def test_finish_time_zero_not_replaced_by_now():
+    # Regression: `finished_at or sim.now` rewrote a legitimate cycle-0
+    # finish to the end of the run, inflating that worker's finish time.
+    result = run_app(_IdleZero(), ProtocolConfig.treadmarks("Base"),
+                     verify=False)
+    assert result.finish_times[0] == 0
+    assert result.finish_times[1] >= 1000
+    assert result.execution_cycles == max(result.finish_times)
+
+
 def test_to_json_round_trips():
     import json
     result = run_app(small_app(), ProtocolConfig.treadmarks("Base"))

@@ -362,6 +362,79 @@ def test_peek_and_step():
     assert sim.peek() == 5
 
 
+def test_timeout_pending_until_fired():
+    # Regression: Timeout.__init__ used to assign the value immediately,
+    # so `triggered` reported True before the timeout actually fired.
+    sim = Simulator()
+    t = sim.timeout(5, value="payload")
+    assert not t.triggered
+    assert not t.processed
+    sim.run()
+    assert sim.now == 5
+    assert t.triggered and t.ok
+    assert t.value == "payload"
+
+
+def test_run_until_timeout_advances_clock():
+    # Regression: run(until=sim.timeout(d)) used to return at time 0
+    # because the pre-triggered Timeout satisfied the stop condition
+    # before any event was processed.
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(4)
+            ticks.append(sim.now)
+
+    sim.process(ticker())
+    value = sim.run(until=sim.timeout(10, value="stop"))
+    assert value == "stop"
+    assert sim.now == 10
+    assert ticks == [4, 8]
+
+
+def test_run_until_timeout_without_other_events():
+    sim = Simulator()
+    assert sim.run(until=sim.timeout(25)) is None
+    assert sim.now == 25
+
+
+def test_interrupt_process_parked_on_processed_event():
+    # Regression: yielding an already-processed event schedules a
+    # zero-delay wakeup; interrupt() used to leave that wakeup attached
+    # (since _waiting_on was None), so the generator was resumed twice:
+    # once with the value and once with Interrupt.
+    sim = Simulator()
+    log = []
+    done = sim.event()
+    done.succeed("stale")
+
+    def victim():
+        # Let `done` become processed first.
+        yield sim.timeout(1)
+        try:
+            value = yield done  # parks on the zero-delay wakeup
+            log.append(("value", value, sim.now))
+        except Interrupt as intr:
+            log.append(("interrupt", intr.cause, sim.now))
+        yield sim.timeout(5)
+        return sim.now
+
+    vp = sim.process(victim())
+
+    def attacker():
+        # Runs at t=1 after the victim parked, before its wakeup fires.
+        yield sim.timeout(1)
+        vp.interrupt(cause="preempt")
+
+    sim.process(attacker())
+    sim.run()
+    # Exactly one resumption, and it is the interrupt.
+    assert log == [("interrupt", "preempt", 1)]
+    assert vp.value == 6
+
+
 def test_determinism_across_runs():
     def build():
         sim = Simulator()

@@ -327,6 +327,45 @@ def test_priority_resource_peak_queue_length():
     assert res.peak_queue_length == 3
 
 
+def test_peak_queue_length_zero_when_uncontended():
+    # Regression: the peak was recorded between enqueue and grant, so a
+    # lone request momentarily counted as a queue of 1.
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def user(delay):
+        yield sim.timeout(delay)
+        req = res.request()
+        yield req
+        yield sim.timeout(1)
+        res.release(req)
+
+    # Strictly serialized users: never more than one in service.
+    for delay in (0, 5, 10):
+        sim.process(user(delay))
+    sim.run()
+    assert res.total_requests == 3
+    assert res.peak_queue_length == 0
+    assert res.wait_time == 0
+
+
+def test_priority_resource_peak_zero_when_uncontended():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+
+    def user(delay, prio):
+        yield sim.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        res.release(req)
+
+    for delay, prio in ((0, 1), (3, 0), (6, 1)):
+        sim.process(user(delay, prio))
+    sim.run()
+    assert res.total_requests == 3
+    assert res.peak_queue_length == 0
+
+
 def test_priority_store_depth_by_priority():
     sim = Simulator()
     store = PriorityStore(sim)
