@@ -2,7 +2,7 @@
 
 Runs a fixed matrix of quick app x protocol configurations (see
 :mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
-(default ``BENCH_pr2.json``): simulated execution cycles, host
+(default ``BENCH_pr4.json``): simulated execution cycles, host
 wall-clock seconds, and the per-category time fractions (busy / data /
 synch / ipc / others, plus the overlapping diff fraction) for each
 configuration.  CI runs this on every push and uploads the archive as
@@ -18,12 +18,12 @@ original computation.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr2.json
+    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr4.json
     PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
-Validate the outputs with ``python -m repro validate BENCH_pr2.json``.
+Validate the outputs with ``python -m repro validate BENCH_pr4.json``.
 """
 
 from __future__ import annotations
@@ -50,8 +50,8 @@ __all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "main"]
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="record the benchmark regression archive")
-    parser.add_argument("--out", default="BENCH_pr2.json",
-                        help="archive path (default: BENCH_pr2.json)")
+    parser.add_argument("--out", default="BENCH_pr4.json",
+                        help="archive path (default: BENCH_pr4.json)")
     parser.add_argument("--procs", type=int, default=4)
     parser.add_argument("--full", action="store_true",
                         help="use full problem sizes (slow; default is "

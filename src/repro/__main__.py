@@ -23,6 +23,14 @@ Commands
     ``benchmarks/regression.py`` records) and optionally write the
     ``repro-bench/1`` archive.
 
+``profile APP``
+    Self-profile one simulation: report kernel events processed,
+    wall seconds, and events/sec from profiler-free timed runs, then a
+    cProfile top-N table from one additional instrumented run (the
+    profiler inflates wall time several-fold, so throughput numbers
+    always come from the clean runs).  ``--out FILE`` dumps the raw
+    pstats data for ``python -m pstats`` / snakeviz.
+
 ``analyze APP``
     Run one application with request-lifecycle spans enabled and print
     the causal analysis: critical-path intervals, stall decomposition,
@@ -52,13 +60,14 @@ Examples::
     python -m repro run Em3d --protocol I+D --quick \\
         --trace /tmp/em3d.json --metrics /tmp/em3d-metrics.json
     python -m repro analyze Em3d --protocol I+P+D --quick --procs 4
+    python -m repro profile Em3d --protocol I+P+D --quick --procs 4
     python -m repro figure 1 --quick
     python -m repro figure 13 --quick --jobs 4
     python -m repro figure 5 --app Ocean
-    python -m repro bench --out BENCH_pr2.json --jobs 2
+    python -m repro bench --out BENCH_pr4.json --jobs 2
     python -m repro metrics /tmp/em3d-metrics.json
     python -m repro trace /tmp/em3d.json --category fault --limit 20
-    python -m repro validate BENCH_pr2.json /tmp/em3d-metrics.json
+    python -m repro validate BENCH_pr4.json /tmp/em3d-metrics.json
 """
 
 from __future__ import annotations
@@ -147,6 +156,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="use full problem sizes (slow; default is "
                               "the quick sizes CI uses)")
     _add_sweep_flags(bench_p, default_jobs=os.cpu_count() or 1)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="self-profile one simulation (events/sec + cProfile top-N)")
+    prof_p.add_argument("app", choices=experiments.APP_ORDER)
+    prof_p.add_argument("--protocol", default="I+P+D",
+                        help="an overlap mode (Base, I, I+D, P, I+P, "
+                             "I+P+D) or 'aurc' (default: I+P+D)")
+    prof_p.add_argument("--prefetch", action="store_true",
+                        help="AURC only: enable page prefetching")
+    prof_p.add_argument("--procs", type=int, default=4)
+    prof_p.add_argument("--quick", action="store_true",
+                        help="reduced problem size")
+    prof_p.add_argument("--no-verify", action="store_true",
+                        help="skip the result-verification epilogue")
+    prof_p.add_argument("--repeat", type=int, default=3,
+                        help="profiler-free timed runs for the "
+                             "events/sec figure (default: 3)")
+    prof_p.add_argument("--top", type=int, default=15,
+                        help="rows in the cProfile table (default: 15)")
+    prof_p.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumtime", "ncalls"],
+                        help="cProfile sort column (default: tottime)")
+    prof_p.add_argument("--out", metavar="FILE", default=None,
+                        help="dump raw pstats data to FILE")
 
     an_p = sub.add_parser(
         "analyze",
@@ -239,6 +273,63 @@ def _cmd_run(args) -> int:
         with open(args.metrics, "w") as fh:
             json.dump(report.to_json(), fh)
         print(f"metrics report -> {args.metrics}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    if args.protocol.lower() == "aurc":
+        config = ProtocolConfig.aurc(prefetch=args.prefetch)
+    else:
+        config = ProtocolConfig.treadmarks(args.protocol)
+    verify = not args.no_verify
+
+    def make_app():
+        return experiments.scaled_app(args.app, args.procs,
+                                      quick=args.quick)
+
+    # Warm-up (imports, caches, pools) outside every measurement.
+    run_app(make_app(), config, verify=verify)
+    # Profiler-free timed runs: the honest throughput numbers.
+    repeat = max(1, args.repeat)
+    best_wall = None
+    events = 0
+    for _ in range(repeat):
+        app = make_app()
+        start = time.perf_counter()
+        result = run_app(app, config, verify=verify)
+        wall = time.perf_counter() - start
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+        events = result.events_processed
+    print(f"{args.app} under {config.label} on {args.procs} processors"
+          f"{' (quick)' if args.quick else ''}")
+    print(f"  events processed : {events}")
+    print(f"  wall seconds     : {best_wall:.4f} "
+          f"(best of {repeat}, profiler off)")
+    print(f"  events/sec       : {events / best_wall:,.0f}")
+    print(f"  sim cycles/sec   : "
+          f"{result.execution_cycles / best_wall:,.0f}")
+    # One instrumented run for the attribution table.  cProfile inflates
+    # wall time several-fold, so nothing above comes from this run.
+    profiler = cProfile.Profile()
+    app = make_app()
+    profiler.enable()
+    run_app(app, config, verify=verify)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print()
+    print(f"cProfile top {args.top} by {args.sort} "
+          f"(one instrumented run; times inflated by the profiler):")
+    print(stream.getvalue().rstrip())
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"pstats dump -> {args.out}")
     return 0
 
 
@@ -473,6 +564,8 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "figure":

@@ -466,7 +466,7 @@ class Aurc(DsmProtocol):
                                         pages=pages, vc=st.vc.as_tuple(),
                                         stamps=stamps)
             st.log.add(record)
-            yield self.sim.timeout(
+            yield self.sim.pooled_timeout(
                 len(pages) * self.params.list_processing_cycles_per_element)
 
     # -- lock/barrier hooks (shared services from locks.py / barriers.py) --
@@ -479,7 +479,7 @@ class Aurc(DsmProtocol):
         req_vc = VectorClock(values=req_payload)
         records = st.log.records_behind(req_vc)
         notices = sum(r.notice_count for r in records)
-        yield self.sim.timeout(
+        yield self.sim.pooled_timeout(
             (notices + 1) * self.params.list_processing_cycles_per_element)
         return (st.vc.as_tuple(), records)
 
@@ -499,7 +499,7 @@ class Aurc(DsmProtocol):
             for record in records:
                 st.log.add(record)
                 total += record.notice_count
-        yield self.sim.timeout(
+        yield self.sim.pooled_timeout(
             (total + 1) * self.params.list_processing_cycles_per_element)
         return (merged_vc.as_tuple(),
                 st.log.records_behind(st.last_barrier_vc))
@@ -545,7 +545,7 @@ class Aurc(DsmProtocol):
         cost = (notices * self.params.list_processing_cycles_per_element
                 + len(invalidated) * self.params.page_state_change_cycles)
         if cost:
-            yield self.sim.timeout(cost)
+            yield self.sim.pooled_timeout(cost)
         metrics = self.sim.metrics
         if notices:
             if metrics is not None:
@@ -707,7 +707,7 @@ class Aurc(DsmProtocol):
         """Raw generator (authority service): drain updates, send the page."""
         st = self.states[node.node_id]
         ap = st.page(msg.page, self.params.words_per_page)
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         for writer, seq in msg.stamps.items():
             if seq:
                 yield from node.nic.au_engine.wait_for(writer, seq)

@@ -125,7 +125,7 @@ class BarrierService:
 
     def handle_arrive(self, node: Node, msg: BarrierArrive):
         """Raw generator (manager service): count arrivals; maybe release."""
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         mstate = self._mstate(node.node_id, msg.barrier)
         if mstate.arrived == 0:
             mstate.epoch += 1

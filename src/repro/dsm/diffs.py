@@ -22,6 +22,7 @@ without a race), and it is exactly how twin-based TreadMarks behaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -50,6 +51,12 @@ class DiffRecord:
     def dirty_words(self) -> int:
         return len(self.indices)
 
+    @cached_property
+    def vc_sum(self) -> int:
+        """Sort key for :func:`apply_order`, cached because one diff is
+        re-sorted by every reader that applies it."""
+        return sum(self.to_vc)
+
     def size_bytes(self, word_bytes: int, page_words: int) -> int:
         """Wire size: the bit vector plus the dirty words (section 3.1)."""
         bitvector = page_words // 8
@@ -73,7 +80,7 @@ def diff_from_mask(writer: int, page: int, from_id: int, to_id: int,
 
 def apply_order(diffs):
     """Sort diffs into a happens-before-respecting application order."""
-    return sorted(diffs, key=lambda d: (sum(d.to_vc), d.writer, d.to_id))
+    return sorted(diffs, key=lambda d: (d.vc_sum, d.writer, d.to_id))
 
 
 def apply_diff(frame: np.ndarray, diff: DiffRecord) -> None:

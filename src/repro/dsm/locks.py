@@ -179,7 +179,7 @@ class LockService:
 
     def handle_request(self, node: Node, msg: LockRequest):
         """Raw generator (manager): grant or forward an acquire request."""
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         mstate = self._mstate(node.node_id, msg.lock)
         previous = mstate.tail
         mstate.tail = msg.requester
@@ -201,7 +201,7 @@ class LockService:
 
     def handle_forward(self, node: Node, msg: LockForward):
         """Raw generator (previous owner): grant now or stash successor."""
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         state = self._nstate(node.node_id, msg.lock)
         if state.owner_here and not state.held:
             state.owner_here = False

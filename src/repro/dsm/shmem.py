@@ -69,35 +69,66 @@ class DsmApi:
         self.protocol = protocol
         self.pid = pid
         self.nprocs = protocol.n
+        # Consecutive private-compute holds coalesce into one simulated
+        # hold, flushed lazily before the next shared/sync operation (or
+        # by the harness when the worker body returns).  No simulated
+        # time elapses between a buffered compute and its flush point,
+        # so cycles and interrupt behavior are unchanged.
+        self._compute_buffer = 0.0
+
+    def flush_compute(self):
+        """Generator: issue any buffered private-compute cycles now."""
+        cycles = self._compute_buffer
+        if cycles:
+            self._compute_buffer = 0.0
+            yield from self.protocol.proc_compute(self.pid, cycles)
 
     def read(self, addr: int, nwords: int = 1):
         """Generator: read ``nwords`` shared words; returns ndarray."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         return (yield from self.protocol.proc_read(self.pid, addr, nwords))
 
     def read1(self, addr: int):
         """Generator: read a single shared word; returns a float."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         values = yield from self.protocol.proc_read(self.pid, addr, 1)
         return float(values[0])
 
     def write(self, addr: int, values):
         """Generator: write scalar or array ``values`` at ``addr``."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         yield from self.protocol.proc_write(self.pid, addr, values)
 
     def acquire(self, lock: int):
         """Generator: acquire a global lock."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         yield from self.protocol.proc_acquire(self.pid, lock)
 
     def release(self, lock: int):
         """Generator: release a global lock."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         yield from self.protocol.proc_release(self.pid, lock)
 
     def barrier(self, barrier: int):
         """Generator: global barrier (all processes participate)."""
+        if self._compute_buffer:
+            yield from self.flush_compute()
         yield from self.protocol.proc_barrier(self.pid, barrier)
 
     def compute(self, cycles: float):
-        """Generator: ``cycles`` of private computation (busy time)."""
-        yield from self.protocol.proc_compute(self.pid, cycles)
+        """Generator: ``cycles`` of private computation (busy time).
+
+        Buffered: consecutive computes merge into a single hold issued
+        at the next shared/sync operation (or at worker exit).
+        """
+        self._compute_buffer += cycles
+        return
+        yield  # unreachable: keeps this a generator for `yield from`
 
 
 class SharedArray:

@@ -308,7 +308,7 @@ class TreadMarks(DsmProtocol):
                                     pages=tuple(sorted(written)),
                                     vc=vc_tuple)
             st.log.add(record)
-            yield self.sim.timeout(
+            yield self.sim.pooled_timeout(
                 len(written)
                 * self.params.list_processing_cycles_per_element)
 
@@ -326,7 +326,7 @@ class TreadMarks(DsmProtocol):
         records = st.log.records_behind(req_vc)
         notices = sum(r.notice_count for r in records)
         self.stats.write_notices_sent += notices
-        yield self.sim.timeout(
+        yield self.sim.pooled_timeout(
             (notices + 1) * self.params.list_processing_cycles_per_element)
         if not self.hybrid_updates:
             return (st.vc.as_tuple(), records)
@@ -395,7 +395,7 @@ class TreadMarks(DsmProtocol):
                 # would roll shared words backwards.  Let the demand
                 # fault gather and order everything.
                 continue
-            yield self.sim.timeout(
+            yield self.sim.pooled_timeout(
                 diff.dirty_words * self.params.diff_cycles_per_word)
             yield from node.memory.access_scattered(diff.dirty_words)
             tp.apply_incoming(diff)
@@ -423,7 +423,7 @@ class TreadMarks(DsmProtocol):
             for record in records:
                 st.log.add(record)
                 total_notices += record.notice_count
-        yield self.sim.timeout(
+        yield self.sim.pooled_timeout(
             (total_notices + 1)
             * self.params.list_processing_cycles_per_element)
         return (merged_vc.as_tuple(),
@@ -465,7 +465,7 @@ class TreadMarks(DsmProtocol):
         cost = (notices * self.params.list_processing_cycles_per_element
                 + len(invalidated) * self.params.page_state_change_cycles)
         if cost:
-            yield self.sim.timeout(cost)
+            yield self.sim.pooled_timeout(cost)
         for tp in invalidated:
             self._invalidate_cached(node, tp)
         if notices:
@@ -592,7 +592,7 @@ class TreadMarks(DsmProtocol):
         start = self.sim.now
         applied_words = 0
         for diff in apply_order(diffs):
-            yield self.sim.timeout(
+            yield self.sim.pooled_timeout(
                 diff.dirty_words * self.params.diff_cycles_per_word)
             yield from node.memory.access_scattered(diff.dirty_words)
             tp.apply_incoming(diff)
@@ -673,7 +673,7 @@ class TreadMarks(DsmProtocol):
         tp = st.page(msg.page, self.params.words_per_page)
         tp.ensure_frame()
         tp.copyset[msg.requester] = tp.last_closed_id
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         yield from node.memory.access(self.params.words_per_page)
         reply = PageReply(page=msg.page, token=msg.token,
                           snapshot=tp.applied_snapshot(),
@@ -690,7 +690,7 @@ class TreadMarks(DsmProtocol):
         pid = node.node_id
         st = self.states[pid]
         tp = st.page(msg.page, self.params.words_per_page)
-        yield self.sim.timeout(self.params.message_handler_cycles)
+        yield self.sim.pooled_timeout(self.params.message_handler_cycles)
         interval_done = None
         if self.mode.offload:
             # Delegate interval processing to the computation processor;
@@ -726,7 +726,7 @@ class TreadMarks(DsmProtocol):
 
     def _interval_processing(self, n_elements: int):
         """Raw generator: write-notice/interval list traversal."""
-        yield self.sim.timeout(
+        yield self.sim.pooled_timeout(
             (n_elements + 1) * self.params.list_processing_cycles_per_element)
 
     def _charge_diff_creation(self, node: Node, dirty_words: int):
@@ -747,7 +747,7 @@ class TreadMarks(DsmProtocol):
             where = "controller"
         else:
             # On the computation processor: full-page scan against the twin.
-            yield self.sim.timeout(self.params.words_per_page
+            yield self.sim.pooled_timeout(self.params.words_per_page
                                    * self.params.diff_cycles_per_word)
             yield from node.memory.access(self.params.words_per_page)
             node.cpu.breakdown.charge_diff(self.sim.now - start)
@@ -843,7 +843,7 @@ class TreadMarks(DsmProtocol):
         start = self.sim.now
         applied_words = 0
         for diff in msg.diffs:
-            yield self.sim.timeout(
+            yield self.sim.pooled_timeout(
                 diff.dirty_words * self.params.diff_cycles_per_word)
             yield from node.memory.access_scattered(diff.dirty_words)
             self.stats.diffs_applied += 1
@@ -891,7 +891,7 @@ class TreadMarks(DsmProtocol):
                 self.stats.prefetch.diff_requests += 1
                 self.note_issue(node, writer, request)
                 if self.mode.offload:
-                    yield self.sim.timeout(
+                    yield self.sim.pooled_timeout(
                         self.params.controller_command_issue_cycles)
                     node.controller.submit(
                         "pf-send", lambda w=writer, r=request:

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.hardware.params import MachineParams
 
 __all__ = ["DirectMappedCache", "WriteBuffer", "CacheAccessResult"]
@@ -50,7 +48,15 @@ class DirectMappedCache:
         self.params = params
         self.n_lines = params.cache_lines
         self.words_per_line = params.words_per_line
-        self._tags = np.full(self.n_lines, -1, dtype=np.int64)
+        # Tags live in a plain list: accesses touch only a handful of
+        # lines at a time, where scalar list indexing beats numpy's
+        # fancy-indexing setup cost by an order of magnitude.
+        self._tags = [-1] * self.n_lines
+        # Uncontended DRAM time per missing line: one setup plus the
+        # line's words (misses are rarely adjacent in time).
+        self._fill_per_miss = (params.memory_setup_cycles
+                               + self.words_per_line
+                               * params.memory_cycles_per_word)
         # Statistics
         self.hits = 0
         self.misses = 0
@@ -64,29 +70,26 @@ class DirectMappedCache:
         """Touch ``nwords`` consecutive words; returns hit/miss counts.
 
         Misses allocate the line.  The returned ``fill_cycles`` is the
-        uncontended DRAM time for the missing lines (one setup per
-        miss run, then streaming), which the processor charges as
-        ``others`` stall.
+        uncontended DRAM time for the missing lines, which the processor
+        charges as ``others`` stall.
         """
         if nwords <= 0:
             return CacheAccessResult(0, 0, 0.0)
-        first = self._line_of(word_addr)
-        last = self._line_of(word_addr + nwords - 1)
-        lines = np.arange(first, last + 1, dtype=np.int64)
-        idx = lines % self.n_lines
-        hit_mask = self._tags[idx] == lines
-        misses = int((~hit_mask).sum())
-        hits = int(hit_mask.sum())
-        self._tags[idx] = lines
+        wpl = self.words_per_line
+        first = word_addr // wpl
+        last = (word_addr + nwords - 1) // wpl
+        tags = self._tags
+        n_lines = self.n_lines
+        misses = 0
+        for line in range(first, last + 1):
+            idx = line % n_lines
+            if tags[idx] != line:
+                misses += 1
+                tags[idx] = line
+        hits = last - first + 1 - misses
         self.hits += hits
         self.misses += misses
-        fill = 0.0
-        if misses:
-            # Each missing line is an independent DRAM access: setup plus
-            # the line's words (misses are rarely adjacent in time).
-            fill = misses * (self.params.memory_setup_cycles
-                             + self.words_per_line
-                             * self.params.memory_cycles_per_word)
+        fill = misses * self._fill_per_miss if misses else 0.0
         return CacheAccessResult(hits, misses, fill)
 
     def invalidate_range(self, word_addr: int, nwords: int) -> int:
@@ -98,18 +101,22 @@ class DirectMappedCache:
         """
         if nwords <= 0:
             return 0
-        first = self._line_of(word_addr)
-        last = self._line_of(word_addr + nwords - 1)
-        lines = np.arange(first, last + 1, dtype=np.int64)
-        idx = lines % self.n_lines
-        match = self._tags[idx] == lines
-        count = int(match.sum())
-        self._tags[idx[match]] = -1
+        wpl = self.words_per_line
+        first = word_addr // wpl
+        last = (word_addr + nwords - 1) // wpl
+        tags = self._tags
+        n_lines = self.n_lines
+        count = 0
+        for line in range(first, last + 1):
+            idx = line % n_lines
+            if tags[idx] == line:
+                count += 1
+                tags[idx] = -1
         self.invalidations += count
         return count
 
     def flush(self) -> None:
-        self._tags.fill(-1)
+        self._tags = [-1] * self.n_lines
 
     @property
     def accesses(self) -> int:

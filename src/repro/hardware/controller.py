@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
 from repro.hardware.params import MachineParams
-from repro.sim import Event, PriorityStore, Simulator
+from repro.sim import Event, PriorityStore, Simulator, fused_burst
 from repro.stats.metrics import QUEUE_WAIT_BUCKETS
 
 __all__ = ["ProtocolController", "Command", "PRIORITY_URGENT",
@@ -99,7 +99,9 @@ class ProtocolController:
 
     def _serve_loop(self):
         while True:
-            cmd: Command = yield self.queue.get()
+            cmd: Command = self.queue.try_get()
+            if cmd is None:
+                cmd = yield from self.queue.get_item()
             wait = self.sim.now - cmd.enqueued_at
             self.queue_wait_cycles += wait
             metrics = self.sim.metrics
@@ -138,7 +140,7 @@ class ProtocolController:
     def core_work(self, cycles: float):
         """Generator: occupy the RISC core for ``cycles`` of software."""
         if cycles > 0:
-            yield self.sim.timeout(cycles)
+            yield self.sim.pooled_timeout(cycles)
 
     def list_work(self, n_elements: int):
         """Generator: protocol list traversal (Table 1: 6 cycles/element)."""
@@ -149,7 +151,12 @@ class ProtocolController:
         """Generator: copy a page into a twin in software (5 cycles/word
         plus the memory traffic of reading and writing the page)."""
         nwords = nwords if nwords is not None else self.params.words_per_page
-        yield from self.core_work(nwords * self.params.twin_cycles_per_word)
+        core = nwords * self.params.twin_cycles_per_word
+        fused = self.memory.burst_timeout(2 * nwords, core)
+        if fused is not None:
+            yield fused
+            return
+        yield from self.core_work(core)
         yield from self.memory.access(2 * nwords)
 
     def software_diff_create(self, nwords_page: Optional[int] = None):
@@ -158,34 +165,69 @@ class ProtocolController:
         matching section 3.1's comparison)."""
         nwords_page = (nwords_page if nwords_page is not None
                        else self.params.words_per_page)
-        yield from self.core_work(
-            nwords_page * self.params.diff_cycles_per_word)
+        core = nwords_page * self.params.diff_cycles_per_word
+        fused = self.memory.burst_timeout(nwords_page, core)
+        if fused is not None:
+            yield fused
+            return
+        yield from self.core_work(core)
         yield from self.memory.access(nwords_page)
 
     def software_diff_apply(self, dirty_words: int):
         """Generator: software diff application (7 cycles per dirty word
         plus memory traffic for the dirty words)."""
-        yield from self.core_work(
-            dirty_words * self.params.diff_cycles_per_word)
+        core = dirty_words * self.params.diff_cycles_per_word
+        fused = self.memory.burst_timeout(dirty_words, core, scattered=True)
+        if fused is not None:
+            yield fused
+            return
+        yield from self.core_work(core)
         yield from self.memory.access_scattered(dirty_words)
 
     def dma_diff_create(self, dirty_words: int):
         """Generator: DMA diff creation -- bit-vector scan (~200 cycles
         empty to ~2100 cycles full page) plus gathering the dirty words
         from main memory across PCI."""
-        yield from self.core_work(self.params.dma_scan_cycles(dirty_words))
+        core = self.params.dma_scan_cycles(dirty_words)
+        if dirty_words:
+            fused = self.memory.burst_timeout(dirty_words, core,
+                                              scattered=True)
+            if fused is not None:
+                yield fused
+                return
+        yield from self.core_work(core)
         if dirty_words:
             yield from self.memory.access_scattered(dirty_words)
 
     def dma_diff_apply(self, dirty_words: int):
         """Generator: DMA diff application -- scatter the diff's words into
         the destination page as directed by its bit vector."""
-        yield from self.core_work(self.params.dma_scan_cycles(dirty_words))
+        core = self.params.dma_scan_cycles(dirty_words)
+        if dirty_words:
+            fused = self.memory.burst_timeout(dirty_words, core,
+                                              scattered=True)
+            if fused is not None:
+                yield fused
+                return
+        yield from self.core_work(core)
         if dirty_words:
             yield from self.memory.access_scattered(dirty_words)
 
     def page_copy(self, nwords: Optional[int] = None):
         """Generator: stream a full page between memory and the NIC."""
         nwords = nwords if nwords is not None else self.params.words_per_page
-        yield from self.pci.transfer(nwords * self.params.word_bytes)
-        yield from self.memory.access(nwords)
+        nbytes = nwords * self.params.word_bytes
+        pci = self.pci
+        memory = self.memory
+        fused = fused_burst(self.sim, (
+            (pci.port, self.params.pci_transfer_cycles(nbytes)),
+            (memory.port, memory.service_cycles(nwords)),
+        ))
+        if fused is not None:
+            pci.total_bytes += nbytes
+            memory.total_words += nwords
+            memory.total_accesses += 1
+            yield fused
+            return
+        yield from pci.transfer(nbytes)
+        yield from memory.access(nwords)

@@ -26,6 +26,41 @@ class MainMemory:
         self.total_words = 0
         self.total_accesses = 0
 
+    def burst_timeout(self, nwords: int, lead_cycles: float = 0.0,
+                      scattered: bool = False, setup: bool = True):
+        """Fused ``lead_cycles`` + DRAM burst as one timeout, or None.
+
+        Equivalent to a plain ``lead_cycles`` wait (e.g. controller
+        core work) followed by :meth:`access` / :meth:`access_scattered`
+        when the port is idle and nothing else is scheduled strictly
+        inside the combined window.  Statistics are accounted exactly;
+        the caller yields the returned timeout.  None means take the
+        event-per-burst path.
+        """
+        if nwords <= 0:
+            return None
+        port = self.port
+        if port.users or port.queue_length:
+            return None
+        params = self.params
+        if scattered:
+            groups = -(-nwords // params.words_per_line)
+            cycles = (groups * params.memory_setup_cycles
+                      + nwords * params.memory_cycles_per_word)
+        else:
+            cycles = nwords * params.memory_cycles_per_word
+            if setup:
+                cycles += params.memory_setup_cycles
+        total = lead_cycles + cycles
+        sim = self.sim
+        heap = sim._heap
+        if heap and heap[0][0] <= sim.now + total:
+            return None
+        port.account_uncontended(cycles)
+        self.total_words += nwords
+        self.total_accesses += 1
+        return sim.pooled_timeout(total)
+
     def access(self, nwords: int, setup: bool = True):
         """Generator: occupy the memory port for one burst of ``nwords``.
 
@@ -37,12 +72,15 @@ class MainMemory:
         cycles = nwords * self.params.memory_cycles_per_word
         if setup:
             cycles += self.params.memory_setup_cycles
-        req = self.port.request()
-        yield req
+        port = self.port
+        req = port.try_acquire()
+        if req is None:
+            req = port.request()
+            yield req
         try:
-            yield self.sim.timeout(cycles)
+            yield self.sim.pooled_timeout(cycles)
         finally:
-            self.port.release(req)
+            port.release(req)
         self.total_words += nwords
         self.total_accesses += 1
 
@@ -59,12 +97,15 @@ class MainMemory:
         groups = -(-nwords // self.params.words_per_line)
         cycles = (groups * self.params.memory_setup_cycles
                   + nwords * self.params.memory_cycles_per_word)
-        req = self.port.request()
-        yield req
+        port = self.port
+        req = port.try_acquire()
+        if req is None:
+            req = port.request()
+            yield req
         try:
-            yield self.sim.timeout(cycles)
+            yield self.sim.pooled_timeout(cycles)
         finally:
-            self.port.release(req)
+            port.release(req)
         self.total_words += nwords
         self.total_accesses += 1
 

@@ -54,6 +54,11 @@ class MeshNetwork:
         self.height = params.mesh_height
         self.n_nodes = params.n_processors
         self.stats = NetworkStats()
+        # Static XY routes, filled lazily by route().
+        self._routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # Per-hop head latency, precomputed for the transfer fast path.
+        self._head_per_hop = (params.switch_latency_cycles
+                              + params.wire_latency_cycles)
         # Directed links keyed by (from_node, to_node).
         self._links: Dict[Tuple[int, int], Resource] = {}
         for node in range(self.n_nodes):
@@ -75,7 +80,18 @@ class MeshNetwork:
         return y * self.width + x
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """XY (x first, then y) dimension-ordered route as directed links."""
+        """XY (x first, then y) dimension-ordered route as directed links.
+
+        Routes are static, so computed once per (src, dst) and cached;
+        callers must not mutate the returned list.
+        """
+        cached = self._routes.get((src, dst))
+        if cached is not None:
+            return cached
+        links = self._routes[(src, dst)] = self._compute_route(src, dst)
+        return links
+
+    def _compute_route(self, src: int, dst: int) -> List[Tuple[int, int]]:
         if src == dst:
             return []
         links = []
@@ -113,35 +129,78 @@ class MeshNetwork:
     # -- transfer ------------------------------------------------------------
 
     def transfer(self, src: int, dst: int, nbytes: int,
-                 traffic_class: str = "protocol", req: int = 0):
+                 traffic_class: str = "protocol", req: int = 0,
+                 tail_cycles: float = 0.0, tail_accounts=()):
         """Generator: move ``nbytes`` from ``src`` to ``dst`` with contention.
 
         The caller (NIC) blocks for the full transfer; asynchronous sends
         wrap this in their own process.  ``req`` tags the trace event
         with the request id riding this transfer (0 = untracked).
+
+        ``tail_cycles``/``tail_accounts`` let the caller fold its
+        immediately-following delivery bursts (destination PCI / DRAM)
+        into the transfer's fused timeout: when all links and tail
+        resources are idle and nothing else is scheduled strictly inside
+        the combined window, the whole flight collapses to one event,
+        with every resource accounted exactly as held/released bursts.
+        Returns True when the tail was folded in (the caller must skip
+        its own tail bursts), else False.
         """
         if src == dst:
-            return  # local loopback: no mesh traversal
-        start = self.sim.now
+            return False  # local loopback: no mesh traversal
+        sim = self.sim
+        start = sim.now
         path = self.route(src, dst)
-        metrics = self.sim.metrics
-        held = []
-        try:
-            for link_key in path:
-                link_req = self._links[link_key].request()
-                yield link_req
-                held.append((link_key, link_req))
-            blocked = self.sim.now - start
-            head = len(path) * (self.params.switch_latency_cycles
-                                + self.params.wire_latency_cycles)
-            serialization = nbytes * self.params.link_cycles_per_byte
-            yield self.sim.timeout(head + serialization)
-        finally:
-            for link_key, link_req in held:
-                self._links[link_key].release(link_req)
+        metrics = sim.metrics
+        head = len(path) * self._head_per_hop
+        serialization = nbytes * self.params.link_cycles_per_byte
+        duration = head + serialization
+        links = self._links
+        folded = False
+        fuse = True
+        for link_key in path:
+            link = links[link_key]
+            if link.users or link._queue:
+                fuse = False
+                break
+        if fuse:
+            for resource, _cycles in tail_accounts:
+                if resource.users or resource.queue_length:
+                    fuse = False
+                    break
+        if fuse:
+            window = duration + tail_cycles
+            heap = sim._heap
+            if not heap or heap[0][0] > start + window:
+                for link_key in path:
+                    links[link_key].account_uncontended(duration)
+                for resource, cycles in tail_accounts:
+                    resource.account_uncontended(cycles)
+                yield sim.pooled_timeout(window)
+                folded = tail_cycles > 0
+                blocked = 0.0
+                latency = duration
+            else:
+                fuse = False
+        if not fuse:
+            held = []
+            try:
+                for link_key in path:
+                    link = links[link_key]
+                    link_req = link.try_acquire()
+                    if link_req is None:
+                        link_req = link.request()
+                        yield link_req
+                    held.append((link_key, link_req))
+                blocked = sim.now - start
+                yield sim.pooled_timeout(duration)
+            finally:
+                for link_key, link_req in held:
+                    links[link_key].release(link_req)
+            latency = sim.now - start
         self.stats.messages += 1
         self.stats.bytes += nbytes
-        self.stats.total_latency += self.sim.now - start
+        self.stats.total_latency += latency
         self.stats.total_blocked += blocked
         per_class = self.stats.per_class_bytes
         per_class[traffic_class] = per_class.get(traffic_class, 0) + nbytes
@@ -155,8 +214,9 @@ class MeshNetwork:
             tracer.emit("net", node=src, track="net", action=traffic_class,
                         dst=dst, bytes=nbytes, hops=len(path),
                         blocked=blocked, begin=start,
-                        dur=self.sim.now - start,
+                        dur=latency,
                         **({"req": req} if req else {}))
+        return folded
 
     def link_utilization(self) -> float:
         """Mean utilization across all links."""

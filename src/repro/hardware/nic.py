@@ -164,20 +164,39 @@ class AutomaticUpdateEngine:
             batch = self._queue.popleft()
             self._in_flight += 1
             # Per-update injection overhead (1 cycle by default; the
-            # figure 13 variant charges full messaging overhead).
-            yield self.sim.timeout(self.params.aurc_update_overhead_cycles)
-            yield from self.nic.pci.transfer(batch.nbytes)
-            self.sim.process(self._fly(batch), name="au-fly")
+            # figure 13 variant charges full messaging overhead) fused
+            # with the PCI injection when the bus is idle.
+            overhead = self.params.aurc_update_overhead_cycles
+            fused = self.nic.pci.burst_timeout(batch.nbytes, overhead)
+            if fused is not None:
+                yield fused
+            else:
+                yield self.sim.pooled_timeout(overhead)
+                yield from self.nic.pci.transfer(batch.nbytes)
+            self.sim.process(self._fly(batch), name="au-fly", daemon=True)
 
     def _fly(self, batch: UpdateBatch):
         net = self.nic.network
-        yield from net.transfer(self.nic.node_id, batch.dst, batch.nbytes,
-                                traffic_class="update")
         dst_nic = self.nic.peer(batch.dst)
-        # Destination-side DMA into memory: PCI then DRAM.
-        yield from dst_nic.pci.transfer(batch.nbytes)
         nwords = max(1, batch.nbytes // self.params.word_bytes)
-        yield from dst_nic.memory.access(nwords)
+        mem = dst_nic.memory
+        # Let the mesh transfer fold the destination-side DMA (PCI then
+        # DRAM) into its fused timeout when the whole flight is quiet.
+        pci_c = self.params.pci_transfer_cycles(batch.nbytes)
+        mem_c = mem.service_cycles(nwords)
+        folded = yield from net.transfer(
+            self.nic.node_id, batch.dst, batch.nbytes,
+            traffic_class="update",
+            tail_cycles=pci_c + mem_c,
+            tail_accounts=((dst_nic.pci.port, pci_c), (mem.port, mem_c)))
+        if folded:
+            dst_nic.pci.total_bytes += batch.nbytes
+            mem.total_words += nwords
+            mem.total_accesses += 1
+        else:
+            # Destination-side DMA into memory: PCI then DRAM.
+            yield from dst_nic.pci.transfer(batch.nbytes)
+            yield from mem.access(nwords)
         self.update_bytes += batch.nbytes
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("au"):
@@ -253,8 +272,18 @@ class NetworkInterface:
         tags trace events with the request id this message carries.
         """
         if overhead:
-            yield self.sim.timeout(self.params.messaging_overhead_cycles)
-        yield from self.pci.transfer(nbytes)
+            # Fuse the NIC setup overhead and the PCI injection into one
+            # timeout when the bus is idle and the window is quiet.
+            fused = self.pci.burst_timeout(
+                nbytes, self.params.messaging_overhead_cycles)
+            if fused is not None:
+                yield fused
+            else:
+                yield self.sim.pooled_timeout(
+                    self.params.messaging_overhead_cycles)
+                yield from self.pci.transfer(nbytes)
+        else:
+            yield from self.pci.transfer(nbytes)
         self.messages_sent += 1
         self.bytes_sent += nbytes
         metrics = self.sim.metrics
@@ -270,16 +299,27 @@ class NetworkInterface:
                         bytes=nbytes, traffic_class=traffic_class,
                         **({"req": req} if req else {}))
         self.sim.process(self._fly(dst, payload, nbytes, traffic_class, req),
-                         name=f"msg{self.node_id}->{dst}")
+                         name=f"msg{self.node_id}->{dst}", daemon=True)
 
     def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str,
              req: int = 0):
-        if dst != self.node_id:
-            yield from self.network.transfer(self.node_id, dst, nbytes,
-                                             traffic_class, req=req)
         dst_nic = self.peer(dst)
-        # Ejection DMA at the destination.
-        yield from dst_nic.pci.transfer(nbytes)
+        folded = False
+        if dst != self.node_id:
+            # Let the mesh transfer fold the destination's ejection DMA
+            # into its fused timeout when the whole flight is quiet.
+            pci_c = (self.params.pci_transfer_cycles(nbytes)
+                     if nbytes > 0 else 0.0)
+            folded = yield from self.network.transfer(
+                self.node_id, dst, nbytes, traffic_class, req=req,
+                tail_cycles=pci_c,
+                tail_accounts=(((dst_nic.pci.port, pci_c),)
+                               if pci_c > 0 else ()))
+        if folded:
+            dst_nic.pci.total_bytes += nbytes
+        else:
+            # Ejection DMA at the destination.
+            yield from dst_nic.pci.transfer(nbytes)
         if dst_nic.handler is None:
             raise RuntimeError(f"node {dst} has no message handler")
         dst_nic.handler(payload)

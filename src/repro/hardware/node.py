@@ -30,7 +30,7 @@ from repro.hardware.network import MeshNetwork
 from repro.hardware.nic import NetworkInterface
 from repro.hardware.params import MachineParams
 from repro.hardware.tlb import Tlb
-from repro.sim import AnyOf, Event, Simulator
+from repro.sim import Event, Simulator
 from repro.stats.breakdown import Category, TimeBreakdown
 
 __all__ = ["ComputeProcessor", "Node", "Cluster"]
@@ -42,7 +42,18 @@ _EPSILON = 1e-6
 
 
 class ComputeProcessor:
-    """The computation processor: app execution + request servicing."""
+    """The computation processor: app execution + request servicing.
+
+    Interruptible holds/waits race against service arrival through a
+    *fused wake*: a pooled one-shot event subscribed to both the slice
+    timeout (or awaited event) and the service gate, replacing the
+    ``AnyOf`` composite the hold loop previously allocated per slice.
+    The wake preserves the exact event sequencing the composite had --
+    the timeout path schedules the resume during the timeout's
+    processing slot, the service path keeps the gate bounce -- so
+    simulated cycles are bit-identical (see DESIGN.md, "Kernel
+    performance").
+    """
 
     def __init__(self, sim: Simulator, params: MachineParams, node_id: int):
         self.sim = sim
@@ -51,6 +62,10 @@ class ComputeProcessor:
         self.breakdown = TimeBreakdown()
         self._pending: deque = deque()
         self._service_gate: Optional[Event] = None
+        # Fused-wake state for the interruptible hold/wait fast path.
+        self._wake: Optional[Event] = None
+        self._armed_gate: Optional[Event] = None
+        self._trampoline_cb = self._trampoline
         self.main: Optional[object] = None
         self.finished_at: Optional[float] = None
         self.services_handled = 0
@@ -84,6 +99,47 @@ class ComputeProcessor:
             self._service_gate = Event(self.sim)
         return self._service_gate
 
+    # -- fused-wake fast path ---------------------------------------------
+
+    def _trampoline(self, _event: Event) -> None:
+        """Fire the armed wake once, whichever source lands first."""
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+
+    def _arm(self, source: Event) -> Event:
+        """Return a one-shot wake that fires when ``source`` fires or a
+        service request arrives (via the gate), whichever is first."""
+        wake = self.sim.pooled_event()
+        self._wake = wake
+        trampoline = self._trampoline_cb
+        source.callbacks.append(trampoline)
+        gate = self._gate()
+        gate.callbacks.append(trampoline)
+        self._armed_gate = gate
+        return wake
+
+    def _disarm(self, source: Event) -> None:
+        """Detach the trampoline from whichever sources are still pending
+        so lost races neither retain the wake nor fire it after reuse."""
+        self._wake = None
+        trampoline = self._trampoline_cb
+        callbacks = source.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(trampoline)
+            except ValueError:
+                pass
+        gate = self._armed_gate
+        self._armed_gate = None
+        if gate is not None:
+            callbacks = gate.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(trampoline)
+                except ValueError:
+                    pass
+
     def drain_services(self):
         """Generator: service every queued request, charging each item's
         category (IPC for remote requests) for interrupt entry + handler."""
@@ -91,7 +147,7 @@ class ComputeProcessor:
             name, work, done, category, req, posted = self._pending.popleft()
             start = self.sim.now
             # Interrupt entry/exit cost, then the handler itself.
-            yield self.sim.timeout(self.params.interrupt_cycles)
+            yield self.sim.pooled_timeout(self.params.interrupt_cycles)
             result = yield from work()
             elapsed = self.sim.now - start
             self.breakdown.charge(category, elapsed)
@@ -115,20 +171,29 @@ class ComputeProcessor:
         their time goes to IPC and the hold then resumes for its remaining
         cycles.
         """
+        sim = self.sim
         remaining = cycles
         while remaining > _EPSILON:
             if interruptible and self._pending:
                 yield from self.drain_services()
                 continue
-            start = self.sim.now
+            start = sim.now
             if interruptible:
-                timeout = self.sim.timeout(remaining)
-                yield AnyOf(self.sim, [timeout, self._gate()])
-                elapsed = self.sim.now - start
+                heap = sim._heap
+                if not heap or heap[0][0] > start + remaining:
+                    # Quiet window: no other event can run (so no service
+                    # can be posted) before this slice completes -- skip
+                    # the race machinery entirely.
+                    yield sim.pooled_timeout(remaining)
+                else:
+                    timeout = sim.pooled_timeout(remaining)
+                    yield self._arm(timeout)
+                    self._disarm(timeout)
+                elapsed = sim.now - start
                 self.breakdown.charge(category, elapsed)
                 remaining -= elapsed
             else:
-                yield self.sim.timeout(remaining)
+                yield sim.pooled_timeout(remaining)
                 self.breakdown.charge(category, remaining)
                 remaining = 0
 
@@ -144,19 +209,25 @@ class ComputeProcessor:
         total = busy + others
         if total <= 0:
             return
+        sim = self.sim
         busy_frac = busy / total
         remaining = total
         while remaining > _EPSILON:
             if interruptible and self._pending:
                 yield from self.drain_services()
                 continue
-            start = self.sim.now
+            start = sim.now
             if interruptible:
-                timeout = self.sim.timeout(remaining)
-                yield AnyOf(self.sim, [timeout, self._gate()])
+                heap = sim._heap
+                if not heap or heap[0][0] > start + remaining:
+                    yield sim.pooled_timeout(remaining)
+                else:
+                    timeout = sim.pooled_timeout(remaining)
+                    yield self._arm(timeout)
+                    self._disarm(timeout)
             else:
-                yield self.sim.timeout(remaining)
-            elapsed = self.sim.now - start
+                yield sim.pooled_timeout(remaining)
+            elapsed = sim.now - start
             self.breakdown.charge(Category.BUSY, elapsed * busy_frac)
             self.breakdown.charge(Category.OTHERS, elapsed * (1 - busy_frac))
             remaining -= elapsed
@@ -164,16 +235,19 @@ class ComputeProcessor:
     def wait(self, event: Event, category: Category,
              interruptible: bool = True):
         """Generator: block on ``event``, charging ``category`` for the wait."""
+        sim = self.sim
         while not event.processed:
-            start = self.sim.now
+            start = sim.now
             if interruptible:
                 if self._pending:
                     yield from self.drain_services()
                     continue
-                yield AnyOf(self.sim, [event, self._gate()])
+                wake = self._arm(event)
+                yield wake
+                self._disarm(event)
             else:
                 yield event
-            self.breakdown.charge(category, self.sim.now - start)
+            self.breakdown.charge(category, sim.now - start)
         return event.value
 
     def run_generator(self, gen: Generator, category: Category):
@@ -233,6 +307,12 @@ class Node:
             self.controller = ProtocolController(sim, params, self.pci,
                                                  self.memory, node_id)
         self.cpu = ComputeProcessor(sim, params, node_id)
+        # Cost memo for access_cost_cycles: applications hit the same few
+        # (nwords, tlb-hit, miss-count, write) patterns millions of
+        # times, so the arithmetic (and the result tuple) is cached.
+        # TLB/cache state probes stay live -- only the pure cost
+        # computation on their outcome is memoized.
+        self._access_cost_memo: dict = {}
 
     @property
     def breakdown(self) -> TimeBreakdown:
@@ -247,15 +327,24 @@ class Node:
         ``others`` stall.  Shared writes are write-through so the
         controller can snoop them (section 3.1).
         """
-        busy = float(nwords)  # one issue slot per word
-        others = 0.0
-        if not self.tlb.touch(page):
-            others += self.tlb.fill_cycles
+        tlb_hit = self.tlb.touch(page)
         result = self.cache.access_range(word_addr, nwords, write)
-        others += result.fill_cycles
         if write:
-            others += self.write_buffer.write_burst(nwords)
-        return busy, others
+            # The write buffer keeps burst statistics; account it live.
+            wb_stall = self.write_buffer.write_burst(nwords)
+            key = (nwords, tlb_hit, result.misses, wb_stall)
+        else:
+            wb_stall = 0.0
+            key = (nwords, tlb_hit, result.misses, None)
+        cached = self._access_cost_memo.get(key)
+        if cached is None:
+            busy = float(nwords)  # one issue slot per word
+            others = 0.0 if tlb_hit else self.tlb.fill_cycles
+            others += result.fill_cycles
+            others += wb_stall
+            cached = (busy, others)
+            self._access_cost_memo[key] = cached
+        return cached
 
 
 class Cluster:

@@ -62,13 +62,17 @@ def run_matrix(procs: int = 4, quick: bool = True,
         merged = result.merged_breakdown
         fractions = {category.value: merged.fraction(category)
                      for category in Category}
+        events = result.events_processed
+        wall = result.wall_seconds
         rows.append({
             "app": app_name,
             "protocol": result.protocol_label,
             "n_procs": procs,
             "quick": quick,
             "execution_cycles": result.execution_cycles,
-            "wall_seconds": result.wall_seconds,
+            "wall_seconds": wall,
+            "events_processed": events,
+            "events_per_second": events / wall if wall else 0.0,
             "cached": result.cached,
             "fractions": fractions,
             "diff_fraction": (merged.diff_cycles / merged.total
@@ -77,9 +81,11 @@ def run_matrix(procs: int = 4, quick: bool = True,
         })
         if echo is not None:
             origin = "cached" if result.cached else "simulated"
+            rate = events / wall if wall else 0.0
             echo(f"  {app_name:8s} {result.protocol_label:12s} "
                  f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
-                 f"{result.wall_seconds:6.2f} s  [{origin}]")
+                 f"{wall:6.2f} s  {events:7d} ev "
+                 f"{rate:9.0f} ev/s  [{origin}]")
     return rows
 
 

@@ -213,6 +213,7 @@ class SimResult:
         self.finish_times = list(doc.get("finish_times", []))
         self.verified = bool(doc.get("verified", False))
         self.wall_seconds = float(doc.get("wall_seconds", 0.0))
+        self.events_processed = int(doc.get("events_processed", 0))
         self.controller_diff_cycles = list(
             doc.get("controller_diff_cycles", []))
 

@@ -11,6 +11,7 @@ DSM -- outside the timed region.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -79,6 +80,8 @@ class RunResult:
     verified: bool = False
     tracer: object = None            # Tracer when run with trace=True
     metrics: object = None           # MetricsRegistry when metrics=True
+    events_processed: int = 0        # kernel events in the timed region
+    wall_seconds: float = 0.0        # host time for the timed region
 
     @property
     def merged_breakdown(self) -> TimeBreakdown:
@@ -115,6 +118,8 @@ class RunResult:
             "diff_fraction": self.diff_fraction(),
             "controller_diff_cycles": list(self.controller_diff_cycles),
             "verified": self.verified,
+            "events_processed": self.events_processed,
+            "wall_seconds": self.wall_seconds,
         }
         if dataclasses.is_dataclass(self.protocol_stats):
             counters = dataclasses.asdict(self.protocol_stats)
@@ -133,6 +138,14 @@ class RunResult:
             return 0.0
         diff = merged.diff_cycles + sum(self.controller_diff_cycles)
         return diff / total
+
+
+def _worker_body(app, api: DsmApi, pid: int):
+    """Wrap a worker so trailing buffered compute cycles are charged
+    before the processor reports finished."""
+    result = yield from app.worker(api, pid)
+    yield from api.flush_compute()
+    return result
 
 
 def _build_protocol(config: ProtocolConfig, sim: Simulator,
@@ -187,9 +200,12 @@ def run_app(app, config: ProtocolConfig,
     for pid in range(app.nprocs):
         api = DsmApi(protocol, pid)
         done_events.append(
-            cluster[pid].cpu.start(app.worker(api, pid),
+            cluster[pid].cpu.start(_worker_body(app, api, pid),
                                    name=f"{app.name}-w{pid}"))
+    wall_start = time.perf_counter()
     sim.run(until=AllOf(sim, done_events))
+    wall_seconds = time.perf_counter() - wall_start
+    events_processed = sim.events_processed
     if sampler is not None:
         sampler.stop()
 
@@ -221,6 +237,8 @@ def run_app(app, config: ProtocolConfig,
         and protocol.barriers.stats,
         tracer=sim.tracer,
         metrics=sim.metrics,
+        events_processed=events_processed,
+        wall_seconds=wall_seconds,
     )
 
     if verify:

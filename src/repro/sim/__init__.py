@@ -31,6 +31,7 @@ from repro.sim.resources import (
     PriorityStore,
     Resource,
     Store,
+    fused_burst,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "fused_burst",
 ]

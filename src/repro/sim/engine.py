@@ -17,11 +17,31 @@ The design follows the classic generator-coroutine DES pattern:
 Time is measured in integer *processor cycles* throughout the
 reproduction (1 cycle = 10 ns in the paper's Table 1), but the kernel
 accepts any non-negative number.
+
+Performance notes (the kernel is the simulator's hot loop):
+
+* Every event class uses ``__slots__``; a full figure sweep creates
+  tens of millions of events, so per-object dict overhead dominates
+  otherwise.
+* Short-lived kernel-internal events -- the wakeup bounce a process
+  uses to re-inspect an already-processed yield target, and the
+  timeout/wake pairs the processor model burns through in hold loops --
+  come from free-list pools (:meth:`Simulator.pooled_event` /
+  :meth:`Simulator.pooled_timeout`).  Pooled objects are recycled by
+  the run loop right after their callbacks fire, when nothing can
+  reference them anymore; recycling never reorders the heap, so it is
+  invisible to simulated time.
+* :meth:`Simulator.run` specializes its loop for the three ``until``
+  shapes instead of re-checking both stop conditions per event, and
+  inlines :meth:`step`'s pop/advance/dispatch sequence.
+* ``succeed``/``fail`` inline the zero-delay schedule (the common case)
+  rather than calling :meth:`Simulator._schedule`.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -36,6 +56,9 @@ __all__ = [
 
 # Sentinel distinguishing "no value yet" from a legitimate None value.
 _PENDING = object()
+
+# Free lists never grow beyond this; anything above is left to the GC.
+_POOL_MAX = 256
 
 
 class Interrupt(Exception):
@@ -58,11 +81,14 @@ class Event:
     called at most once.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_recycle")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
+        self._recycle = False
 
     @property
     def triggered(self) -> bool:
@@ -77,7 +103,8 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return (self._value is not _PENDING
+                or self._exception is not None) and self._exception is None
 
     @property
     def value(self) -> Any:
@@ -87,21 +114,31 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay == 0:
+            sim._seq += 1
+            heappush(sim._heap, (sim.now, sim._seq, self))
+        else:
+            sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0) -> "Event":
         """Trigger the event as failed; waiters see ``exception`` raised."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._value = None
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay == 0:
+            sim._seq += 1
+            heappush(sim._heap, (sim.now, sim._seq, self))
+        else:
+            sim._schedule(self, delay)
         return self
 
     def _resume_waiters(self) -> None:
@@ -126,31 +163,50 @@ class Timeout(Event):
     return at the current time instead of advancing the clock by ``d``.)
     """
 
+    __slots__ = ("delay", "_pending_value")
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._exception = None
+        self._recycle = False
         self.delay = delay
         self._pending_value = value
-        sim._schedule(self, delay)
+        sim._seq += 1
+        heappush(sim._heap, (sim.now + delay, sim._seq, self))
 
     def _resume_waiters(self) -> None:
         if self._value is _PENDING and self._exception is None:
             self._value = self._pending_value
-        super()._resume_waiters()
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
 
 
 class _ConditionValue:
     """Mapping from constituent events to values for AnyOf/AllOf results."""
 
+    __slots__ = ("events", "_event_set")
+
     def __init__(self, events: Iterable[Event]):
         self.events = list(events)
+        self._event_set = None
 
     def __getitem__(self, event: Event) -> Any:
         return event.value
 
     def __contains__(self, event: Event) -> bool:
-        return event in self.events and event.processed
+        # Membership is asked once per constituent in the common pattern
+        # (`if t in result`), so an O(n) list scan per lookup turns the
+        # whole check quadratic; build the set once instead.
+        events = self._event_set
+        if events is None:
+            events = self._event_set = set(self.events)
+        return event in events and event.callbacks is None
 
     def todict(self) -> dict:
         return {e: e.value for e in self.events if e.processed}
@@ -159,36 +215,59 @@ class _ConditionValue:
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
 
+    __slots__ = ("events", "_remaining")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.events = list(events)
         self._remaining = len(self.events)
         if not self.events:
-            self.succeed(_ConditionValue([]))
+            self.succeed(_ConditionValue(()))
             return
         for event in self.events:
-            if event.processed:
+            if self._value is not _PENDING or self._exception is not None:
+                # Already decided (a constituent was pre-processed):
+                # subscribing the remainder would only leave stale
+                # callbacks behind.
+                break
+            if event.callbacks is None:
                 self._on_child(event)
             else:
-                if event.callbacks is None:
-                    raise RuntimeError("cannot wait on a processed event")
                 event.callbacks.append(self._on_child)
 
     def _on_child(self, event: Event) -> None:
         raise NotImplementedError
 
     def _finish(self) -> None:
-        if not self.triggered:
-            failed = next(
-                (e for e in self.events if e.triggered and not e.ok), None)
-            if failed is not None:
-                self.fail(failed._exception)  # type: ignore[arg-type]
-            else:
-                self.succeed(_ConditionValue(self.events))
+        if self._value is not _PENDING or self._exception is not None:
+            return
+        events = self.events
+        failed = None
+        for e in events:
+            if e._exception is not None:
+                failed = e
+                break
+        if failed is not None:
+            self.fail(failed._exception)
+        else:
+            self.succeed(_ConditionValue(events))
+        # Detach from still-pending constituents: a lost race must not
+        # keep this (dead) condition alive through the loser's callback
+        # list, nor run a needless `_on_child` when the loser fires.
+        on_child = self._on_child
+        for e in events:
+            callbacks = e.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(on_child)
+                except ValueError:
+                    pass
 
 
 class AnyOf(_Condition):
     """Succeeds as soon as any constituent event triggers."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         self._finish()
@@ -197,9 +276,11 @@ class AnyOf(_Condition):
 class AllOf(_Condition):
     """Succeeds once every constituent event has triggered."""
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         self._remaining -= 1
-        if self._remaining == 0 or (event.triggered and not event.ok):
+        if self._remaining == 0 or event._exception is not None:
             self._finish()
 
 
@@ -212,16 +293,27 @@ class Process(Event):
     value becomes the process's event value.
     """
 
+    __slots__ = ("name", "_generator", "_send", "_throw", "_waiting_on",
+                 "_daemon")
+
     def __init__(self, sim: "Simulator", generator: Generator,
-                 name: str = ""):
-        super().__init__(sim)
+                 name: str = "", daemon: bool = False):
+        Event.__init__(self, sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
+        # Bound once: _resume runs once per processed event, so the two
+        # attribute lookups per resume are worth hoisting.
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
+        # Daemon processes are fire-and-forget: the spawner drops the
+        # handle, so the completion event can never be waited on and is
+        # committed synchronously instead of through the heap.
+        self._daemon = daemon
         # Bootstrap: resume the generator at time now.
-        bootstrap = Event(sim)
+        bootstrap = sim.pooled_event()
         bootstrap.callbacks.append(self._step)
         bootstrap.succeed()
 
@@ -255,56 +347,68 @@ class Process(Event):
     # -- internal stepping ------------------------------------------------
 
     def _step(self, event: Event) -> None:
-        if event.ok:
-            self._advance(lambda: self._generator.send(
-                event._value if event._value is not _PENDING else None))
+        exc = event._exception
+        if exc is None:
+            value = event._value
+            self._resume(None if value is _PENDING else value, None)
         else:
-            exc = event._exception
-            assert exc is not None
-            self._advance(lambda: self._generator.throw(exc))
+            self._resume(None, exc)
 
     def _step_throw(self, exc: BaseException) -> None:
-        if self.triggered:  # finished between interrupt and delivery
-            return
-        self._advance(lambda: self._generator.throw(exc))
+        if self._value is not _PENDING or self._exception is not None:
+            return  # finished between interrupt and delivery
+        self._resume(None, exc)
 
-    def _advance(self, resume: Callable[[], Any]) -> None:
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         self._waiting_on = None
-        prev, self.sim._active_process = self.sim._active_process, self
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
         try:
-            target = resume()
+            if exc is None:
+                target = self._send(value)
+            else:
+                target = self._throw(exc)
         except StopIteration as stop:
-            self.sim._active_process = prev
+            sim._active_process = prev
+            if self._daemon and not self.callbacks:
+                # Nobody can observe a daemon's completion (the handle
+                # was dropped at spawn), so trigger and mark processed
+                # without a heap event.
+                self._value = stop.value
+                self.callbacks = None
+                return
             self.succeed(stop.value)
             return
         except BaseException as err:
-            self.sim._active_process = prev
-            if self.sim.strict:
+            sim._active_process = prev
+            if sim.strict:
                 raise
             self.fail(err)
             return
-        self.sim._active_process = prev
-        if not isinstance(target, Event):
+        sim._active_process = prev
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             raise TypeError(
-                f"process {self.name!r} yielded non-event {target!r}")
-        if target.processed:
-            # Already fired: re-inspect immediately on a fresh wakeup so we
-            # don't recurse arbitrarily deep.  The wakeup is recorded as
-            # `_waiting_on` so that interrupt() can detach the pending
-            # `_step` callback; otherwise the generator would be resumed
-            # twice (once with the value, once with Interrupt).
-            wakeup = Event(self.sim)
-            if target.ok:
-                wakeup._value = target._value
-            else:
-                wakeup._exception = target._exception
-                wakeup._value = None
-            wakeup.callbacks.append(self._step)
-            self._waiting_on = wakeup
-            self.sim._schedule(wakeup, 0)
-        else:
+                f"process {self.name!r} yielded non-event {target!r}"
+            ) from None
+        if callbacks is not None:
             self._waiting_on = target
-            target.callbacks.append(self._step)
+            callbacks.append(self._step)
+            return
+        # Already fired: re-inspect immediately on a fresh wakeup so we
+        # don't recurse arbitrarily deep.  The wakeup is recorded as
+        # `_waiting_on` so that interrupt() can detach the pending
+        # `_step` callback; otherwise the generator would be resumed
+        # twice (once with the value, once with Interrupt).
+        wakeup = sim.pooled_event()
+        wakeup._value = target._value
+        wakeup._exception = target._exception
+        wakeup.callbacks.append(self._step)
+        self._waiting_on = wakeup
+        sim._seq += 1
+        heappush(sim._heap, (sim.now, sim._seq, wakeup))
 
 
 class Simulator:
@@ -313,6 +417,10 @@ class Simulator:
     ``strict`` controls error handling inside processes: when True
     (the default) an uncaught exception in any process aborts the run by
     propagating out of :meth:`run`, which is what tests want.
+
+    ``events_processed`` counts every event dispatched by :meth:`run` /
+    :meth:`step` -- the denominator of the simulator's own events/sec
+    throughput metric (``repro profile``, ``benchmarks/microbench.py``).
     """
 
     def __init__(self, strict: bool = True):
@@ -321,6 +429,12 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.events_processed: int = 0
+        # Free lists for kernel-internal short-lived objects.  Only
+        # events created via pooled_event/pooled_timeout are recycled;
+        # user-visible events are never pooled.
+        self._event_pool: List[Event] = []
+        self._timeout_pool: List[Timeout] = []
         # Observability attachment points.  Instrumented components read
         # these and emit only when non-None (tracer additionally gated
         # per category via `wants`), so a bare simulator pays a single
@@ -339,8 +453,9 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: str = "",
+                daemon: bool = False) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -348,13 +463,67 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- free-list pools ---------------------------------------------------
+
+    def pooled_event(self) -> Event:
+        """A bare event recycled into the free list once processed.
+
+        For kernel-internal one-shot wakeups only: the caller must not
+        retain the event past its processing, and must never hand it to
+        user code or a :class:`_Condition`.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = _PENDING
+            event._exception = None
+            return event
+        event = Event(self)
+        event._recycle = True
+        return event
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A timeout recycled into the free list once processed.
+
+        Same contract as :meth:`pooled_event`.  A pooled timeout that
+        loses a race (its waiter was woken by something else) stays out
+        of the pool until its heap entry drains, so reuse can never
+        corrupt a scheduled entry.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timeout = Timeout(self, delay, value)
+            timeout._recycle = True
+            return timeout
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        timeout = pool.pop()
+        timeout.callbacks = []
+        timeout._value = _PENDING
+        timeout._exception = None
+        timeout.delay = delay
+        timeout._pending_value = value
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, self._seq, timeout))
+        return timeout
+
+    def _recycle_event(self, event: Event) -> None:
+        cls = event.__class__
+        if cls is Event:
+            if len(self._event_pool) < _POOL_MAX:
+                self._event_pool.append(event)
+        elif cls is Timeout:
+            if len(self._timeout_pool) < _POOL_MAX:
+                self._timeout_pool.append(event)
+
     # -- scheduling and the main loop -------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heappush(self._heap, (self.now + delay, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -367,37 +536,90 @@ class Simulator:
             raise RuntimeError("time went backwards")
         self.now = time
         event._resume_waiters()
+        self.events_processed += 1
+        if event._recycle:
+            self._recycle_event(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until the heap drains, a time limit, or an event fires.
 
         ``until`` may be ``None`` (drain), a number (stop the clock there),
         or an :class:`Event` (stop when it triggers and return its value).
+
+        Each ``until`` shape gets its own loop so the hot path checks
+        only the stop condition that can actually apply; the heap's time
+        ordering makes the per-event monotonicity re-check redundant
+        here (it stays in :meth:`step` for manual stepping).
         """
-        stop_event: Optional[Event] = None
-        stop_time: Optional[float] = None
-        if isinstance(until, Event):
-            stop_event = until
-        elif until is not None:
-            stop_time = float(until)
-            if stop_time < self.now:
-                raise ValueError("until lies in the past")
-        while self._heap:
-            if stop_event is not None and stop_event.triggered:
-                if not stop_event.ok:
-                    raise stop_event._exception  # type: ignore[misc]
-                return stop_event.value
-            if stop_time is not None and self.peek() > stop_time:
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        try:
+            if isinstance(until, Event):
+                stop_event = until
+                while heap:
+                    if (stop_event._value is not _PENDING
+                            or stop_event._exception is not None):
+                        break
+                    entry = pop(heap)
+                    self.now = entry[0]
+                    event = entry[2]
+                    event._resume_waiters()
+                    processed += 1
+                    if event._recycle:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            pool = self._timeout_pool
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                        elif cls is Event:
+                            pool = self._event_pool
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                if stop_event._exception is not None:
+                    raise stop_event._exception
+                if stop_event._value is not _PENDING:
+                    return stop_event._value
+                raise RuntimeError(
+                    "simulation ran out of events before `until` event fired")
+            if until is not None:
+                stop_time = float(until)
+                if stop_time < self.now:
+                    raise ValueError("until lies in the past")
+                while heap and heap[0][0] <= stop_time:
+                    entry = pop(heap)
+                    self.now = entry[0]
+                    event = entry[2]
+                    event._resume_waiters()
+                    processed += 1
+                    if event._recycle:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            pool = self._timeout_pool
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                        elif cls is Event:
+                            pool = self._event_pool
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
                 self.now = stop_time
                 return None
-            self.step()
-        if stop_event is not None:
-            if stop_event.triggered:
-                if not stop_event.ok:
-                    raise stop_event._exception  # type: ignore[misc]
-                return stop_event.value
-            raise RuntimeError(
-                "simulation ran out of events before `until` event fired")
-        if stop_time is not None:
-            self.now = stop_time
-        return None
+            while heap:
+                entry = pop(heap)
+                self.now = entry[0]
+                event = entry[2]
+                event._resume_waiters()
+                processed += 1
+                if event._recycle:
+                    cls = event.__class__
+                    if cls is Timeout:
+                        pool = self._timeout_pool
+                        if len(pool) < _POOL_MAX:
+                            pool.append(event)
+                    elif cls is Event:
+                        pool = self._event_pool
+                        if len(pool) < _POOL_MAX:
+                            pool.append(event)
+            return None
+        finally:
+            self.events_processed += processed

@@ -76,7 +76,7 @@ class Sampler:
 
     def _loop(self):
         while not self._stopped:
-            yield self.sim.timeout(self.interval)
+            yield self.sim.pooled_timeout(self.interval)
             if self._stopped:
                 return
             self._take_sample()

@@ -38,15 +38,25 @@ class Rig:
         return self.segment.alloc(name, nwords)
 
     def run_workers(self, *worker_gens):
-        """Start one worker per processor (padded with no-ops); run all."""
+        """Start one worker per processor (padded with no-ops); run all.
+
+        Like the production harness, each worker is wrapped so trailing
+        buffered compute cycles are charged before it reports finished.
+        """
         done = []
         for pid in range(self.n):
             body = worker_gens[pid] if pid < len(worker_gens) else _idle()
-            done.append(self.cluster[pid].cpu.start(body))
+            done.append(self.cluster[pid].cpu.start(
+                self._flushed(pid, body)))
         self.sim.run(until=AllOf(self.sim, done))
         if hasattr(self.protocol, "finalize"):
             self.protocol.finalize()
         return [event.value for event in done]
+
+    def _flushed(self, pid, body):
+        result = yield from body
+        yield from self.apis[pid].flush_compute()
+        return result
 
     def run_process(self, gen):
         """Run one extra generator to completion (post-run verification)."""

@@ -1,0 +1,253 @@
+"""Tests for the kernel fast paths: event pooling, synchronous resource
+acquisition, fused burst accounting, and daemon processes.
+
+Every fast path here has the same contract: identical simulated cycles
+and identical statistics to the event-per-step path it replaces, with
+fewer heap events.  The tests pin both halves -- the equivalence and
+the event saving.
+"""
+
+import pytest
+
+from repro.sim import Event, Resource, Simulator, Store, Timeout, fused_burst
+
+
+# -- pooled events ------------------------------------------------------------
+
+def test_pooled_timeout_objects_are_recycled():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for _ in range(8):
+            t = sim.pooled_timeout(5)
+            seen.append(t)
+            yield t
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 40
+    # A serial chain reuses the same free-listed object after the first.
+    assert len(set(map(id, seen))) < len(seen)
+
+
+def test_recycled_timeout_leaks_no_state():
+    sim = Simulator()
+    values = []
+
+    def proc():
+        first = sim.pooled_timeout(1, value="first")
+        got = yield first
+        values.append(got)
+        second = sim.pooled_timeout(1)  # may be the same object, reused
+        got = yield second
+        values.append(got)
+        assert second._exception is None
+
+    sim.process(proc())
+    sim.run()
+    # The recycled object's value must be reset, not left from its
+    # previous life.
+    assert values == ["first", None]
+
+
+def test_pooled_event_not_reused_while_scheduled():
+    sim = Simulator()
+
+    def proc():
+        t = sim.pooled_timeout(10)
+        # Losing the race: something else wakes us first; the pooled
+        # timeout's heap entry is still pending.
+        gate = Event(sim)
+        gate.succeed("winner")
+        got = yield gate
+        assert got == "winner"
+        # Draining the abandoned timeout later must be harmless.
+        yield sim.pooled_timeout(20)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 20
+
+
+# -- Resource.try_acquire -----------------------------------------------------
+
+def test_try_acquire_grants_when_idle_and_quiet():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.try_acquire()
+    assert req is not None
+    assert res.users == [req]
+    assert res.total_requests == 1
+    assert req.granted_at == sim.now
+    res.release(req)
+    assert not res.users
+
+
+def test_try_acquire_refuses_when_busy_or_noisy():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.try_acquire()
+    assert res.try_acquire() is None  # no free slot
+    res.release(held)
+    sim.timeout(0)  # a same-time heap entry makes the window non-quiet
+    assert res.try_acquire() is None
+
+
+def test_try_acquire_matches_request_statistics():
+    def run(use_fast):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            for _ in range(4):
+                if use_fast:
+                    req = yield from res.acquire()
+                else:
+                    req = res.request()
+                    yield req
+                yield sim.timeout(10)
+                res.release(req)
+            return sim.now
+
+        p = sim.process(worker())
+        sim.run()
+        return p.value, res.busy_time, res.total_requests, res.wait_time
+
+    assert run(True) == run(False)
+
+
+# -- fused bursts -------------------------------------------------------------
+
+def test_fused_burst_accounts_exactly_like_serial_bursts():
+    def serial():
+        sim = Simulator()
+        a, b = Resource(sim), Resource(sim)
+
+        def worker():
+            ra = yield from a.acquire()
+            yield sim.timeout(30)
+            a.release(ra)
+            rb = yield from b.acquire()
+            yield sim.timeout(50)
+            b.release(rb)
+
+        sim.process(worker())
+        sim.run()
+        return sim.now, a.busy_time, b.busy_time, \
+            a.total_requests, b.total_requests
+
+    def fused():
+        sim = Simulator()
+        a, b = Resource(sim), Resource(sim)
+
+        def worker():
+            t = fused_burst(sim, ((a, 30), (b, 50)))
+            assert t is not None
+            yield t
+
+        sim.process(worker())
+        sim.run()
+        return sim.now, a.busy_time, b.busy_time, \
+            a.total_requests, b.total_requests
+
+    assert fused() == serial()
+
+
+def test_fused_burst_refuses_held_resource_and_busy_window():
+    sim = Simulator()
+    a, b = Resource(sim), Resource(sim)
+    held = a.try_acquire()
+    assert fused_burst(sim, ((a, 10), (b, 10))) is None  # a is held
+    a.release(held)
+    assert fused_burst(sim, ((a, 0), (None, 0))) is None  # nothing to do
+    sim.timeout(15)  # lands strictly inside the 20-cycle window
+    assert fused_burst(sim, ((a, 10), (b, 10))) is None
+    assert a.busy_time == 0 and b.busy_time == 0  # no partial accounting
+
+
+def test_fused_burst_equality_boundary_falls_back():
+    # A pre-existing entry at exactly the window end has a smaller seq
+    # and would pop first; fusing would reorder it behind the burst.
+    sim = Simulator()
+    a = Resource(sim)
+    sim.timeout(10)
+    assert fused_burst(sim, ((a, 10),)) is None
+
+
+# -- daemon processes ---------------------------------------------------------
+
+def test_daemon_completion_skips_heap_event():
+    sim = Simulator()
+
+    def flight():
+        yield sim.timeout(5)
+
+    def spawner():
+        sim.process(flight(), daemon=True)
+        yield sim.timeout(100)
+
+    sim.process(spawner())
+    sim.run()
+    baseline = sim.events_processed
+
+    sim2 = Simulator()
+
+    def spawner2():
+        sim2.process(flight2(), daemon=False)
+        yield sim2.timeout(100)
+
+    def flight2():
+        yield sim2.timeout(5)
+
+    sim2.process(spawner2())
+    sim2.run()
+    assert sim.now == sim2.now == 100
+    assert sim.events_processed == sim2.events_processed - 1
+
+
+def test_daemon_with_waiter_still_fires():
+    sim = Simulator()
+
+    def flight():
+        yield sim.timeout(5)
+        return "landed"
+
+    def waiter():
+        p = sim.process(flight(), daemon=True)
+        got = yield p  # the spawner kept the handle after all
+        return got
+
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == "landed"
+
+
+# -- Store fast paths ---------------------------------------------------------
+
+def test_store_get_item_fast_path_preserves_none_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(None)
+    store.put("x")
+
+    def getter():
+        first = yield from store.get_item()
+        second = yield from store.get_item()
+        return first, second
+
+    p = sim.process(getter())
+    sim.run()
+    assert p.value == (None, "x")
+
+
+def test_store_try_get_respects_quiet_window():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    sim.timeout(0)
+    assert store.try_get() is None  # same-time event pending
+    sim.run()
+    assert store.try_get() == "a"
+    assert store.try_get() is None  # empty now
