@@ -2,7 +2,7 @@
 
 Runs a fixed matrix of quick app x protocol configurations (see
 :mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
-(default ``BENCH_pr4.json``): simulated execution cycles, host
+(default ``BENCH_pr5.json``): simulated execution cycles, host
 wall-clock seconds, and the per-category time fractions (busy / data /
 synch / ipc / others, plus the overlapping diff fraction) for each
 configuration.  CI runs this on every push and uploads the archive as
@@ -18,12 +18,12 @@ original computation.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr4.json
+    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr5.json
     PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
-Validate the outputs with ``python -m repro validate BENCH_pr4.json``.
+Validate the outputs with ``python -m repro validate BENCH_pr5.json``.
 """
 
 from __future__ import annotations
@@ -37,6 +37,7 @@ from repro.harness.bench import (
     SCHEMA,
     build_archive,
     config_for,
+    fault_overhead_row,
     run_matrix,
 )
 from repro.harness.experiments import scaled_app
@@ -50,8 +51,8 @@ __all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "main"]
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="record the benchmark regression archive")
-    parser.add_argument("--out", default="BENCH_pr4.json",
-                        help="archive path (default: BENCH_pr4.json)")
+    parser.add_argument("--out", default="BENCH_pr5.json",
+                        help="archive path (default: BENCH_pr5.json)")
     parser.add_argument("--procs", type=int, default=4)
     parser.add_argument("--full", action="store_true",
                         help="use full problem sizes (slow; default is "
@@ -74,6 +75,7 @@ def main(argv=None) -> int:
           f"jobs={runner.jobs}, "
           f"cache={'off' if cache is None else cache.root}")
     rows = run_matrix(procs=args.procs, quick=quick, runner=runner)
+    rows.append(fault_overhead_row(procs=args.procs, quick=quick))
     doc = build_archive(rows, runner=runner)
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -40,6 +40,12 @@ Commands
     flamegraph.pl / speedscope; ``--json FILE`` writes the analysis as
     JSON; ``--trace FILE`` also saves the raw trace.
 
+``chaos``
+    Sweep fault seeds over an app x protocol matrix: each faulted run
+    must terminate, pass verification, and finish with the same shared
+    memory as its fault-free baseline.  ``--report FILE`` writes the
+    ``repro-chaos/1`` JSON report; exits nonzero on any failure.
+
 ``metrics FILE``
     Summarize a JSON run report written by ``run --metrics``.
 
@@ -65,6 +71,9 @@ Examples::
     python -m repro figure 13 --quick --jobs 4
     python -m repro figure 5 --app Ocean
     python -m repro bench --out BENCH_pr4.json --jobs 2
+    python -m repro run Em3d --protocol I+P+D --quick --procs 4 \\
+        --fault-seed 1
+    python -m repro chaos --seeds 3 --quick --report chaos.json
     python -m repro metrics /tmp/em3d-metrics.json
     python -m repro trace /tmp/em3d.json --category fault --limit 20
     python -m repro validate BENCH_pr4.json /tmp/em3d-metrics.json
@@ -132,6 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--metrics", metavar="FILE", default=None,
                        help="record metrics and write the JSON run "
                             "report to FILE")
+    run_p.add_argument("--faults", metavar="FILE", default=None,
+                       help="inject faults from a JSON fault plan "
+                            "({\"seed\": N, \"spec\": {...}})")
+    run_p.add_argument("--fault-seed", type=int, default=None,
+                       help="fault seed; with no --faults file, uses "
+                            "the default chaos spec")
     _add_sweep_flags(run_p, default_jobs=1)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -204,6 +219,32 @@ def _build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("--trace", metavar="FILE", default=None,
                       help="also save the raw trace to FILE")
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="sweep fault seeds and report survival, memory "
+             "correctness, and overhead")
+    chaos_p.add_argument("--seeds", type=int, default=3,
+                         help="fault seeds per configuration "
+                              "(default: 3)")
+    chaos_p.add_argument("--apps", nargs="+", default=None,
+                         choices=experiments.APP_ORDER, metavar="APP",
+                         help="applications to sweep "
+                              "(default: Em3d Water)")
+    chaos_p.add_argument("--protocols", nargs="+", default=None,
+                         metavar="PROTO",
+                         help="protocols to sweep "
+                              "(default: Base I+P+D)")
+    chaos_p.add_argument("--procs", type=int, default=4)
+    chaos_p.add_argument("--quick", action="store_true",
+                         help="reduced problem size")
+    chaos_p.add_argument("--faults", metavar="FILE", default=None,
+                         help="fault spec JSON to sweep instead of the "
+                              "default chaos spec (its seed field is "
+                              "ignored; the sweep supplies seeds)")
+    chaos_p.add_argument("--report", metavar="FILE", default=None,
+                         help="write the repro-chaos/1 JSON report "
+                              "to FILE")
+
     met_p = sub.add_parser("metrics",
                            help="summarize a JSON run report")
     met_p.add_argument("file", help="report written by run --metrics")
@@ -231,14 +272,40 @@ _OVERLAP_FIGURES = {5: "TSP", 6: "Water", 7: "Radix", 8: "Barnes",
                     9: "Em3d", 10: "Ocean"}
 
 
+def _load_fault_plan(args):
+    """Build the FaultPlan requested by --faults / --fault-seed."""
+    if args.faults is None and args.fault_seed is None:
+        return None
+    from repro.faults import FaultPlan, FaultSpec
+
+    if args.faults is not None:
+        plan = FaultPlan.load(args.faults)
+        if args.fault_seed is not None:
+            plan = FaultPlan(seed=args.fault_seed, spec=plan.spec)
+        return plan
+    return FaultPlan(seed=args.fault_seed, spec=FaultSpec.chaos())
+
+
+def _print_fault_summary(stats) -> None:
+    injected = ", ".join(f"{kind}={count}" for kind, count
+                         in stats["injected"].items()) or "none"
+    print(f"faults (seed {stats['seed']}): {injected}")
+    print(f"  recovery: {stats['retransmits']} retransmits, "
+          f"{stats['dups_dropped']} duplicates dropped, "
+          f"{stats['acks_sent']} acks")
+
+
 def _cmd_run(args) -> int:
     if args.protocol.lower() == "aurc":
         config = ProtocolConfig.aurc(prefetch=args.prefetch)
     else:
         config = ProtocolConfig.treadmarks(args.protocol)
-    if args.trace is None and args.metrics is None:
-        # No observability requested: route through the sweep layer so
-        # repeat invocations are served from the result cache.
+    plan = _load_fault_plan(args)
+    if args.trace is None and args.metrics is None and plan is None:
+        # No observability or faults requested: route through the sweep
+        # layer so repeat invocations are served from the result cache.
+        # (Faulted runs never touch the cache -- they must not be
+        # served from, or poison, their fault-free twin's entry.)
         runner = _make_runner(args)
         result = runner.run(SimRequest.for_app(
             args.app, args.procs, config, quick=args.quick,
@@ -258,11 +325,14 @@ def _cmd_run(args) -> int:
     start = time.perf_counter()
     result = run_app(app, config, verify=not args.no_verify,
                      trace=args.trace is not None,
-                     metrics=args.metrics is not None)
+                     metrics=args.metrics is not None,
+                     faults=plan)
     wall = time.perf_counter() - start
     print(format_run(result, verbose=args.verbose))
     if result.verified:
         print("result verified against the reference solution")
+    if result.fault_stats is not None:
+        _print_fault_summary(result.fault_stats)
     if args.trace is not None:
         write_trace(result.tracer, args.trace)
         print(f"trace: {len(result.tracer.events)} events "
@@ -427,6 +497,40 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.harness.chaos import (
+        DEFAULT_APPS,
+        DEFAULT_PROTOCOLS,
+        run_chaos,
+    )
+
+    spec = None
+    if args.faults is not None:
+        spec = FaultPlan.load(args.faults).spec
+    apps = tuple(args.apps) if args.apps else DEFAULT_APPS
+    protocols = (tuple(args.protocols) if args.protocols
+                 else DEFAULT_PROTOCOLS)
+    print(f"chaos sweep: {args.seeds} seeds x {list(apps)} x "
+          f"{list(protocols)}, {args.procs} procs"
+          f"{' (quick)' if args.quick else ''}")
+    report = run_chaos(seeds=args.seeds, apps=apps, protocols=protocols,
+                       procs=args.procs, quick=args.quick, spec=spec)
+    total = report["total"]
+    print(f"survival: {report['survived']}/{total}, "
+          f"memory+verify correct: {report['matched']}/{total}")
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"chaos report -> {args.report}")
+    if not report["ok"]:
+        print("CHAOS FAILURE: some faulted runs hung, diverged, or "
+              "failed verification", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _format_labels(labels) -> str:
     if not labels:
         return ""
@@ -572,6 +676,8 @@ def main(argv=None) -> int:
         return _cmd_figure(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":

@@ -16,7 +16,6 @@ An application:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -52,7 +52,6 @@ def held_karp(dist: np.ndarray) -> float:
             bit = 1 << (j - 1)
             if not mask & bit or dp[mask, j] == np.inf:
                 continue
-            rest = mask
             base = dp[mask, j]
             for k in range(1, n):
                 kbit = 1 << (k - 1)

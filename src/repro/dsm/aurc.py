@@ -609,7 +609,6 @@ class Aurc(DsmProtocol):
                         ap.pending_stamps.items()):
                     if seq and dst == pid:
                         self.stats.local_waits += 1
-                        start = self.sim.now
                         gate = Event(self.sim)
                         self.sim.process(
                             self._drain_wait(node, writer, seq, gate))

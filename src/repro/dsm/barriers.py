@@ -81,7 +81,7 @@ class BarrierService:
         return self._node_state[node_id].setdefault(
             barrier, _NodeBarrierState())
 
-    # -- the waiting side --------------------------------------------------------
+    # -- the waiting side -----------------------------------------------------
 
     def wait(self, node: Node, barrier: int):
         """Generator: arrive at ``barrier`` and block until released."""
@@ -121,7 +121,7 @@ class BarrierService:
                         begin=start, dur=elapsed,
                         **({"req": rid} if rid else {}))
 
-    # -- the manager side -----------------------------------------------------------
+    # -- the manager side -----------------------------------------------------
 
     def handle_arrive(self, node: Node, msg: BarrierArrive):
         """Raw generator (manager service): count arrivals; maybe release."""

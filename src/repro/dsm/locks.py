@@ -100,7 +100,7 @@ class LockService:
         state = self._node_state[node_id].get(lock)
         return bool(state and state.held)
 
-    # -- acquire / release (run on the acquiring processor) ---------------------
+    # -- acquire / release (run on the acquiring processor) -------------------
 
     def acquire(self, node: Node, lock: int):
         """Generator: block until this node holds ``lock`` (charges SYNC)."""
@@ -172,7 +172,7 @@ class LockService:
                 self._grant(node, lock, requester, req_payload, rid),
                 Category.SYNC)
 
-    # -- message handling -------------------------------------------------------
+    # -- message handling -----------------------------------------------------
     # handle_request / handle_forward are raw generators run as services
     # on the receiving processor; handle_grant is synchronous (it only
     # wakes the blocked acquirer, which does its own processing).
@@ -224,7 +224,7 @@ class LockService:
         if not state.waiting.triggered:
             state.waiting.succeed()
 
-    # -- internals -----------------------------------------------------------------
+    # -- internals ------------------------------------------------------------
 
     def _grant(self, node: Node, lock: int, requester: int,
                req_payload: Any, rid: int = 0):

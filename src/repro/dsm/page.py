@@ -88,7 +88,7 @@ class TmPage:
             self.frame = np.zeros(self.words, dtype=np.float64)
         return self.frame
 
-    # -- notices ---------------------------------------------------------------
+    # -- notices --------------------------------------------------------------
 
     def record_notice(self, writer: int, interval_id: int) -> bool:
         """Merge a write notice; returns True if it newly invalidated."""
@@ -109,7 +109,7 @@ class TmPage:
         for writer, through_id in snapshot.items():
             self.mark_applied(writer, through_id)
 
-    # -- write collection --------------------------------------------------------
+    # -- write collection -----------------------------------------------------
 
     def arm_write_collection(self) -> None:
         """First write of an epoch: start twin/bit-vector tracking."""

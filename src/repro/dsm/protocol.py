@@ -282,7 +282,7 @@ class DsmProtocol:
     def proc_barrier(self, pid: int, barrier: int):
         raise NotImplementedError
 
-    # -- plumbing -----------------------------------------------------------------
+    # -- plumbing -------------------------------------------------------------
 
     def _make_handler(self, node: Node):
         def handler(msg: Message) -> None:
@@ -325,7 +325,7 @@ class DsmProtocol:
                                      traffic_class,
                                      req=self.request_id_of(msg))
 
-    # -- request-lifecycle spans (all guarded: zero cost when tracing is off) --
+    # -- request-lifecycle spans (guarded: free when tracing is off) --
 
     @staticmethod
     def request_id_of(msg: Message) -> int:

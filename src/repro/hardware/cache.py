@@ -149,7 +149,8 @@ class WriteBuffer:
         self.stall_cycles_total = 0.0
 
     def write_burst(self, nwords: int) -> float:
-        """Account a burst of ``nwords`` write-throughs; returns stall cycles."""
+        """Account a burst of ``nwords`` write-throughs; returns
+        stall cycles."""
         if nwords <= 0:
             return 0.0
         drain = self.params.memory_cycles_per_word

@@ -76,6 +76,10 @@ class ProtocolController:
         self.memory = memory
         self.node_id = node_id
         self.queue = PriorityStore(sim, name=f"ctrl-q{node_id}")
+        # Fault hook: a FaultPlan when controller stalls or queue
+        # back-pressure are armed (set by FaultPlan.install), else None.
+        self.faults = None
+        self.stall_cycles = 0.0
         self.busy_cycles = 0.0
         self.commands_served = 0
         self.queue_wait_cycles = 0.0
@@ -92,10 +96,26 @@ class ProtocolController:
             done = Event(self.sim)
         cmd = Command(name=name, work=work, done=done, priority=priority,
                       enqueued_at=self.sim.now, req=req)
+        faults = self.faults
+        if faults is not None and faults.spec.ctrl_queue_limit \
+                and len(self.queue) >= faults.spec.ctrl_queue_limit:
+            # Overflow back-pressure: the command enters the queue only
+            # once depth falls below the limit.  Its enqueued_at stays
+            # the submit time, so the deferral shows up as queue wait.
+            faults.count("ctrl_backpressure", node=self.node_id)
+            self.sim.process(self._deferred_put(cmd),
+                             name=f"ctrl-defer{self.node_id}", daemon=True)
+            return done
         self.queue.put(cmd, priority=priority)
         return done
 
-    # -- service loop -----------------------------------------------------------
+    def _deferred_put(self, cmd: Command):
+        spec = self.faults.spec
+        while len(self.queue) >= spec.ctrl_queue_limit:
+            yield self.sim.pooled_timeout(spec.ctrl_retry_cycles)
+        self.queue.put(cmd, priority=cmd.priority)
+
+    # -- service loop ---------------------------------------------------------
 
     def _serve_loop(self):
         while True:
@@ -111,6 +131,17 @@ class ProtocolController:
                     node=self.node_id,
                     priority=("low" if cmd.priority >= PRIORITY_PREFETCH
                               else "high"))
+            faults = self.faults
+            if faults is not None:
+                stall = faults.controller_stall(self.node_id)
+                if stall > 0.0:
+                    # Stall window: the core is unavailable before the
+                    # command runs; not charged as busy time.
+                    self.stall_cycles += stall
+                    if metrics is not None:
+                        metrics.inc("ctrl_stall_cycles", stall,
+                                    node=self.node_id)
+                    yield self.sim.pooled_timeout(stall)
             started = self.sim.now
             result = yield from cmd.work()
             elapsed = self.sim.now - started

@@ -54,6 +54,10 @@ class MeshNetwork:
         self.height = params.mesh_height
         self.n_nodes = params.n_processors
         self.stats = NetworkStats()
+        # Fault hook: a FaultPlan when link latency spikes are armed
+        # (set by FaultPlan.install), else None -- the transfer fast
+        # path pays one None-check.
+        self.faults = None
         # Static XY routes, filled lazily by route().
         self._routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         # Per-hop head latency, precomputed for the transfer fast path.
@@ -158,11 +162,25 @@ class MeshNetwork:
         links = self._links
         folded = False
         fuse = True
-        for link_key in path:
-            link = links[link_key]
-            if link.users or link._queue:
-                fuse = False
-                break
+        faults = self.faults
+        if faults is not None and faults.route_armed(path):
+            # Armed routes must never take the fused quiet window: the
+            # spike draw has to happen at this transfer's position in
+            # event order, and its extra cycles must not be silently
+            # folded into a pooled timeout sized before the draw.
+            fuse = False
+            spike = faults.link_spike(path)
+            if spike > 0.0:
+                duration += spike
+                if metrics is not None:
+                    metrics.inc("net_spike_cycles", spike,
+                                traffic_class=traffic_class)
+        if fuse:
+            for link_key in path:
+                link = links[link_key]
+                if link.users or link._queue:
+                    fuse = False
+                    break
         if fuse:
             for resource, _cycles in tail_accounts:
                 if resource.users or resource.queue_length:

@@ -14,6 +14,22 @@ Each node's NIC sits on the PCI bus (paper figure 3).  It provides:
   before injection.  Per-destination sequence numbers support AURC's
   flush/lock timestamp protocol: a receiver can wait until it has seen
   everything a writer sent before a given stamp.
+
+When a :class:`~repro.faults.FaultPlan` arms message faults, explicit
+messaging switches to a **reliable delivery layer**: every message to a
+remote node carries a per-(src, dst) sequence number; the receiver
+suppresses duplicates, buffers out-of-order arrivals, delivers to the
+protocol handler strictly in send order, and returns cumulative
+hardware acknowledgements; the sender retransmits unacknowledged
+messages on a timeout with capped exponential backoff.  The protocol
+layers above see exactly the lossless in-order channel they were built
+on, so TreadMarks/AURC code needs no changes to survive drop,
+duplication, and reorder faults.  Without an armed plan the layer does
+not exist -- sends take the legacy path untouched.  Automatic updates
+are modeled as hardware-reliable (as in SHRIMP) and are not subject to
+message faults; mesh latency spikes still delay them, but wormhole
+routing keeps each src->dst update stream FIFO, so their sequence
+numbers never arrive out of order.
 """
 
 from __future__ import annotations
@@ -28,6 +44,94 @@ from repro.hardware.params import MachineParams
 from repro.sim import Event, Simulator
 
 __all__ = ["NetworkInterface", "AutomaticUpdateEngine", "UpdateBatch"]
+
+
+@dataclass
+class _Envelope:
+    """One sequence-numbered message on a reliable (src, dst) channel."""
+
+    src: int
+    dst: int
+    seq: int
+    payload: Any
+    nbytes: int
+    traffic_class: str
+    req: int
+
+
+class _Pending:
+    """Sender-side bookkeeping for one unacknowledged envelope."""
+
+    __slots__ = ("env", "deadline", "attempts", "last_sent")
+
+    def __init__(self, env: _Envelope, deadline: float, sent_at: float):
+        self.env = env
+        self.deadline = deadline
+        self.attempts = 0
+        self.last_sent = sent_at
+
+
+class _RecvChannel:
+    """Receiver-side state for one (src -> this node) channel."""
+
+    __slots__ = ("next_seq", "buffer")
+
+    def __init__(self):
+        self.next_seq = 0
+        self.buffer: Dict[int, _Envelope] = {}
+
+
+class _SendChannel:
+    """Sender-side state for one (this node -> dst) channel.
+
+    A per-channel retransmit daemon sleeps until the earliest pending
+    deadline; on expiry it backs off exponentially (capped) and injects
+    a fresh copy of the envelope.  Acknowledgements clear pending
+    entries; spurious wakes after an ack simply re-evaluate.
+    """
+
+    def __init__(self, nic: "NetworkInterface", dst: int):
+        self.nic = nic
+        self.dst = dst
+        self.next_seq = 0
+        self.unacked: Dict[int, _Pending] = {}
+        self._wake: Optional[Event] = None
+        nic.sim.process(self._retx_loop(),
+                        name=f"retx{nic.node_id}->{dst}", daemon=True)
+
+    def note_send(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def ack_through(self, seq: int) -> None:
+        """Cumulative acknowledgement: clear every entry up to ``seq``."""
+        unacked = self.unacked
+        for pending in [s for s in unacked if s <= seq]:
+            del unacked[pending]
+
+    def _retx_loop(self):
+        sim = self.nic.sim
+        spec = self.nic.faults.spec
+        while True:
+            if not self.unacked:
+                self._wake = Event(sim)
+                yield self._wake
+                continue
+            seq, pend = min(self.unacked.items(),
+                            key=lambda kv: (kv[1].deadline, kv[0]))
+            if sim.now < pend.deadline:
+                yield sim.pooled_timeout(pend.deadline - sim.now)
+                continue
+            pend.attempts += 1
+            backoff = min(
+                spec.retx_timeout_cycles * (2.0 ** pend.attempts),
+                spec.retx_backoff_cap_cycles)
+            pend.deadline = sim.now + backoff
+            self.nic._note_retransmit(pend, backoff)
+            pend.last_sent = sim.now
+            sim.process(self.nic._fly_reliable(pend.env, inject=True),
+                        name=f"rmsg{self.nic.node_id}->{self.dst}",
+                        daemon=True)
 
 
 @dataclass
@@ -146,13 +250,14 @@ class AutomaticUpdateEngine:
     # -- consumer side --------------------------------------------------------
 
     def wait_for(self, src: int, seq: int):
-        """Generator: block until updates from ``src`` through ``seq`` arrived."""
+        """Generator: block until updates from ``src`` through
+        ``seq`` arrived."""
         while self.received_seq.get(src, 0) < seq:
             gate = Event(self.sim)
             self._seq_waiters.setdefault(src, []).append((seq, gate))
             yield gate
 
-    # -- internals ---------------------------------------------------------------
+    # -- internals ------------------------------------------------------------
 
     def _drain_loop(self):
         while True:
@@ -254,6 +359,19 @@ class NetworkInterface:
         self.au_engine = AutomaticUpdateEngine(self)
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Reliable delivery layer, armed by FaultPlan.install when the
+        # plan injects message faults; None means legacy direct flight.
+        self.faults = None
+        self._send_channels: Dict[int, _SendChannel] = {}
+        self._recv_channels: Dict[int, _RecvChannel] = {}
+        self.retransmits = 0
+        self.retx_timeouts = 0
+        self.dups_dropped = 0
+        self.acks_sent = 0
+
+    def enable_reliability(self, plan) -> None:
+        """Arm sequence-numbered ack/retransmit delivery under ``plan``."""
+        self.faults = plan
 
     def attach_registry(self, registry: List["NetworkInterface"]) -> None:
         self._registry = registry
@@ -298,8 +416,142 @@ class NetworkInterface:
                         action=type(payload).__name__, dst=dst,
                         bytes=nbytes, traffic_class=traffic_class,
                         **({"req": req} if req else {}))
-        self.sim.process(self._fly(dst, payload, nbytes, traffic_class, req),
-                         name=f"msg{self.node_id}->{dst}", daemon=True)
+        if self.faults is not None and dst != self.node_id:
+            self._launch_reliable(dst, payload, nbytes, traffic_class, req)
+        else:
+            self.sim.process(
+                self._fly(dst, payload, nbytes, traffic_class, req),
+                name=f"msg{self.node_id}->{dst}", daemon=True)
+
+    # -- reliable delivery (fault plans only) -------------------------------
+
+    def _launch_reliable(self, dst: int, payload: Any, nbytes: int,
+                         traffic_class: str, req: int) -> None:
+        """Stamp a sequence number, register for retransmit, and fly."""
+        chan = self._send_channels.get(dst)
+        if chan is None:
+            chan = self._send_channels[dst] = _SendChannel(self, dst)
+        env = _Envelope(src=self.node_id, dst=dst, seq=chan.next_seq,
+                        payload=payload, nbytes=nbytes,
+                        traffic_class=traffic_class, req=req)
+        chan.next_seq += 1
+        now = self.sim.now
+        deadline = now + self.faults.spec.retx_timeout_cycles
+        chan.unacked[env.seq] = _Pending(env, deadline, now)
+        chan.note_send()
+        self.sim.process(self._fly_reliable(env, inject=False),
+                         name=f"rmsg{self.node_id}->{dst}", daemon=True)
+
+    def _fly_reliable(self, env: _Envelope, inject: bool):
+        """One transmission attempt of ``env``, faults applied.
+
+        Retransmitted copies (``inject=True``) re-pay the PCI injection:
+        the NIC's DMA re-reads the message from host memory.  The fault
+        verdict may lose the copy at ejection (the wire time is still
+        paid), duplicate it, or delay it past its successors.
+        """
+        if inject:
+            yield from self.pci.transfer(env.nbytes)
+        verdict = self.faults.message_verdict(self.node_id, env.dst)
+        if verdict.duplicate:
+            self.sim.process(self._fly_copy(env),
+                             name=f"rdup{self.node_id}->{env.dst}",
+                             daemon=True)
+        if verdict.delay > 0.0:
+            yield self.sim.pooled_timeout(verdict.delay)
+        yield from self._wire(env.dst, env.nbytes, env.traffic_class,
+                              env.req)
+        if verdict.drop:
+            return  # lost at ejection; the retransmit timer recovers it
+        self.peer(env.dst)._deliver_reliable(env)
+
+    def _fly_copy(self, env: _Envelope):
+        """A duplicated copy: flies clean and is suppressed on arrival."""
+        yield from self._wire(env.dst, env.nbytes, env.traffic_class,
+                              env.req)
+        self.peer(env.dst)._deliver_reliable(env)
+
+    def _wire(self, dst: int, nbytes: int, traffic_class: str, req: int):
+        """Mesh flight plus destination ejection DMA (no delivery)."""
+        dst_nic = self.peer(dst)
+        pci_c = (self.params.pci_transfer_cycles(nbytes)
+                 if nbytes > 0 else 0.0)
+        folded = yield from self.network.transfer(
+            self.node_id, dst, nbytes, traffic_class, req=req,
+            tail_cycles=pci_c,
+            tail_accounts=(((dst_nic.pci.port, pci_c),)
+                           if pci_c > 0 else ()))
+        if folded:
+            dst_nic.pci.total_bytes += nbytes
+        else:
+            yield from dst_nic.pci.transfer(nbytes)
+
+    def _deliver_reliable(self, env: _Envelope) -> None:
+        """Receiver side: suppress duplicates, deliver in order, ack."""
+        chan = self._recv_channels.get(env.src)
+        if chan is None:
+            chan = self._recv_channels[env.src] = _RecvChannel()
+        metrics = self.sim.metrics
+        if env.seq < chan.next_seq or env.seq in chan.buffer:
+            self.dups_dropped += 1
+            if metrics is not None:
+                metrics.inc("nic_dups_dropped", node=self.node_id,
+                            src=env.src)
+            # Re-ack so a sender whose ack was lost stops retransmitting.
+            self._post_ack(env.src)
+            return
+        chan.buffer[env.seq] = env
+        while chan.next_seq in chan.buffer:
+            ready = chan.buffer.pop(chan.next_seq)
+            chan.next_seq += 1
+            if self.handler is None:
+                raise RuntimeError(
+                    f"node {self.node_id} has no message handler")
+            self.handler(ready.payload)
+        self._post_ack(env.src)
+
+    def _post_ack(self, src: int) -> None:
+        self.sim.process(self._ack_flight(src),
+                         name=f"ack{self.node_id}->{src}", daemon=True)
+
+    def _ack_flight(self, src: int):
+        """Cumulative hardware ack back to ``src`` (itself droppable)."""
+        acked = self._recv_channels[src].next_seq - 1
+        self.acks_sent += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("nic_acks", node=self.node_id, dst=src)
+        if self.faults.ack_dropped(self.node_id, src):
+            return
+        yield from self._wire(src, self.params.control_message_bytes,
+                              "ack", 0)
+        self.peer(src)._handle_ack(self.node_id, acked)
+
+    def _handle_ack(self, peer: int, acked: int) -> None:
+        chan = self._send_channels.get(peer)
+        if chan is not None:
+            chan.ack_through(acked)
+
+    def _note_retransmit(self, pend: _Pending, backoff: float) -> None:
+        env = pend.env
+        self.retransmits += 1
+        self.retx_timeouts += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("nic_retransmits", node=self.node_id, dst=env.dst)
+            metrics.inc("nic_retx_timeouts", node=self.node_id)
+            metrics.observe("nic_backoff_cycles", backoff,
+                            node=self.node_id)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("retx"):
+            now = self.sim.now
+            tracer.emit("retx", node=self.node_id, track="nic",
+                        action="retransmit", dst=env.dst, seq=env.seq,
+                        attempt=pend.attempts, begin=pend.last_sent,
+                        dur=now - pend.last_sent,
+                        **({"req": env.req} if env.req else {}))
+
+    # -- legacy direct flight ----------------------------------------------
 
     def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str,
              req: int = 0):

@@ -69,6 +69,11 @@ class ComputeProcessor:
         self.main: Optional[object] = None
         self.finished_at: Optional[float] = None
         self.services_handled = 0
+        # Straggler slowdown factor (FaultPlan.install sets > 1.0 on
+        # straggler nodes); holds scale their cycles by it.  At exactly
+        # 1.0 the multiplication is skipped so un-faulted runs keep
+        # bit-identical float arithmetic.
+        self.slowdown = 1.0
 
     # -- service requests ---------------------------------------------------
 
@@ -172,7 +177,8 @@ class ComputeProcessor:
         cycles.
         """
         sim = self.sim
-        remaining = cycles
+        remaining = (cycles if self.slowdown == 1.0
+                     else cycles * self.slowdown)
         while remaining > _EPSILON:
             if interruptible and self._pending:
                 yield from self.drain_services()
@@ -209,8 +215,10 @@ class ComputeProcessor:
         total = busy + others
         if total <= 0:
             return
+        if self.slowdown != 1.0:
+            total *= self.slowdown
         sim = self.sim
-        busy_frac = busy / total
+        busy_frac = busy / (busy + others)
         remaining = total
         while remaining > _EPSILON:
             if interruptible and self._pending:
@@ -234,7 +242,8 @@ class ComputeProcessor:
 
     def wait(self, event: Event, category: Category,
              interruptible: bool = True):
-        """Generator: block on ``event``, charging ``category`` for the wait."""
+        """Generator: block on ``event``, charging ``category``
+        for the wait."""
         sim = self.sim
         while not event.processed:
             start = sim.now

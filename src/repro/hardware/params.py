@@ -53,15 +53,15 @@ class MachineParams:
     write_buffer_entries: int = 4
     write_cache_entries: int = 4  # AURC automatic-update combining buffer
 
-    # -- memory ----------------------------------------------------------------
+    # -- memory ---------------------------------------------------------------
     memory_setup_cycles: int = 10
     memory_cycles_per_word: float = 3.0
 
-    # -- PCI bus ---------------------------------------------------------------
+    # -- PCI bus --------------------------------------------------------------
     pci_setup_cycles: int = 10
     pci_cycles_per_word: float = 3.0
 
-    # -- network ----------------------------------------------------------------
+    # -- network --------------------------------------------------------------
     # 8-bit bidirectional links; one flit (byte) occupies a link for
     # `wire_latency_cycles`, which yields the paper's default 50 MB/s.
     net_path_width_bits: int = 8
@@ -95,7 +95,7 @@ class MachineParams:
     interval_header_bytes: int = 16
     diff_header_bytes: int = 16
 
-    # -- miscellaneous protocol software costs ---------------------------------
+    # -- miscellaneous protocol software costs --------------------------------
     # Writing a command descriptor into the controller's queue over PCI.
     controller_command_issue_cycles: int = 20
     # Fixed software cost to decode/dispatch one protocol message.
@@ -190,8 +190,8 @@ class MachineParams:
     def dma_scan_cycles(self, dirty_words: int) -> float:
         """Bit-vector scan time of the controller's DMA engine."""
         frac = min(1.0, dirty_words / self.words_per_page)
-        return (self.dma_scan_base_cycles
-                + frac * (self.dma_scan_full_cycles - self.dma_scan_base_cycles))
+        span = self.dma_scan_full_cycles - self.dma_scan_base_cycles
+        return self.dma_scan_base_cycles + frac * span
 
     # -- sensitivity-sweep constructors (section 5.3) -----------------------
 
@@ -232,7 +232,8 @@ class MachineParams:
         if mbs <= 0:
             raise ValueError("bandwidth must be positive")
         block_cycles = (self.cache_line_bytes / mbs) * (1000.0 / CYCLE_NS)
-        per_word = (block_cycles - self.memory_setup_cycles) / self.words_per_line
+        per_word = (block_cycles - self.memory_setup_cycles) \
+            / self.words_per_line
         if per_word <= 0:
             raise ValueError(
                 f"bandwidth {mbs} MB/s unreachable at setup latency "

@@ -18,7 +18,8 @@ from repro.harness.parallel import SimRequest, SweepRunner
 from repro.harness.runner import ProtocolConfig
 from repro.stats.breakdown import Category
 
-__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "build_archive"]
+__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix",
+           "fault_overhead_row", "build_archive"]
 
 # The regression matrix: small enough for CI, wide enough to cover the
 # base protocol, the full overlap pipeline (prefetch + controller), and
@@ -87,6 +88,63 @@ def run_matrix(procs: int = 4, quick: bool = True,
                  f"{wall:6.2f} s  {events:7d} ev "
                  f"{rate:9.0f} ev/s  [{origin}]")
     return rows
+
+
+def fault_overhead_row(procs: int = 4, quick: bool = True,
+                       seed: int = 7, echo=print) -> dict:
+    """One archive row measuring chaos-fault overhead on the full
+    overlap pipeline (Em3d under I+P+D).
+
+    Runs baseline and faulted back to back through ``run_app`` directly
+    -- never the sweep runner, so neither run touches the result cache
+    (a faulted result must not collide with its fault-free twin's
+    fingerprint).  The fixed seed makes the row's simulated cycles
+    fully deterministic, so it diffs cleanly across CI runs.
+    """
+    import time
+
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.harness.experiments import scaled_app
+    from repro.harness.runner import run_app
+
+    app_name, protocol = "Em3d", "I+P+D"
+    config = config_for(protocol)
+    baseline = run_app(scaled_app(app_name, procs, quick=quick), config)
+    plan = FaultPlan(seed=seed, spec=FaultSpec.chaos())
+    start = time.perf_counter()
+    faulted = run_app(scaled_app(app_name, procs, quick=quick), config,
+                      faults=plan)
+    wall = time.perf_counter() - start
+    merged = faulted.merged_breakdown
+    overhead = (faulted.execution_cycles / baseline.execution_cycles
+                - 1.0)
+    row = {
+        "app": app_name,
+        "protocol": f"{faulted.protocol_label}/faults",
+        "n_procs": procs,
+        "quick": quick,
+        "execution_cycles": faulted.execution_cycles,
+        "wall_seconds": wall,
+        "events_processed": faulted.events_processed,
+        "events_per_second": (faulted.events_processed / wall
+                              if wall else 0.0),
+        "cached": False,
+        "fractions": {category.value: merged.fraction(category)
+                      for category in Category},
+        "diff_fraction": (merged.diff_cycles / merged.total
+                          if merged.total else 0.0),
+        "verified": faulted.verified,
+        "faulted": True,
+        "fault_seed": seed,
+        "fault_overhead": overhead,
+        "baseline_execution_cycles": baseline.execution_cycles,
+    }
+    if echo is not None:
+        echo(f"  {app_name:8s} {row['protocol']:12s} "
+             f"{faulted.execution_cycles / 1e6:8.2f} Mcycles  "
+             f"{wall:6.2f} s  (+{100 * overhead:.1f}% over fault-free, "
+             f"seed {seed})")
+    return row
 
 
 def build_archive(rows: list, runner: Optional[SweepRunner] = None,

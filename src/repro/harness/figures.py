@@ -7,7 +7,7 @@ the form the benchmark harness prints and EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Mapping, Sequence
 
 __all__ = [
     "render_speedups", "render_breakdown", "render_overlap",

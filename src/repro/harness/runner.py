@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.dsm.aurc import Aurc
 from repro.dsm.overlap import BASE, OverlapMode, mode_by_name
@@ -82,6 +82,8 @@ class RunResult:
     metrics: object = None           # MetricsRegistry when metrics=True
     events_processed: int = 0        # kernel events in the timed region
     wall_seconds: float = 0.0        # host time for the timed region
+    fault_stats: object = None       # FaultPlan summary when faults ran
+    final_memory: object = None      # ndarray when snapshot_memory=True
 
     @property
     def merged_breakdown(self) -> TimeBreakdown:
@@ -148,6 +150,26 @@ def _worker_body(app, api: DsmApi, pid: int):
     return result
 
 
+def _snapshot_body(api: DsmApi, total_words: int, words_per_page: int):
+    """Read the whole shared segment through the DSM on one node.
+
+    Runs outside the timed region (like the verify epilogue).  Going
+    through the protocol -- rather than peeking at page frames --
+    brings the reading node coherence-current first, so the snapshot is
+    the memory image any node would observe after the run.
+    """
+    import numpy as np
+
+    chunks = []
+    for base in range(0, total_words, words_per_page):
+        count = min(words_per_page, total_words - base)
+        values = yield from api.read(base, count)
+        chunks.append(np.array(values, dtype=np.float64, copy=True))
+    if not chunks:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(chunks)
+
+
 def _build_protocol(config: ProtocolConfig, sim: Simulator,
                     cluster: Cluster, params: MachineParams,
                     segment: SharedSegment):
@@ -164,7 +186,9 @@ def run_app(app, config: ProtocolConfig,
             trace: bool = False,
             metrics: bool = False,
             trace_limit: int = 500_000,
-            sample_interval: float = DEFAULT_SAMPLE_INTERVAL) -> RunResult:
+            sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+            faults=None,
+            snapshot_memory: bool = False) -> RunResult:
     """Simulate ``app`` under ``config``; returns the :class:`RunResult`.
 
     ``app.nprocs`` fixes the processor count; ``params`` (if given) must
@@ -176,6 +200,13 @@ def run_app(app, config: ProtocolConfig,
     up on the result (``result.tracer`` / ``result.metrics``).  With
     both off -- the default -- no observability object is created and
     the simulation pays only a None-check per emit site.
+
+    ``faults`` (a fresh :class:`~repro.faults.FaultPlan`) arms fault
+    injection on the cluster before any worker starts; its summary
+    lands on ``result.fault_stats``.  ``snapshot_memory=True`` reads
+    the whole shared segment through the DSM on node 0 after the run
+    (and after verification) into ``result.final_memory``, so callers
+    can compare final shared-memory contents across runs.
     """
     params = params or MachineParams()
     if params.n_processors != app.nprocs:
@@ -188,6 +219,8 @@ def run_app(app, config: ProtocolConfig,
     if metrics:
         sim.metrics = MetricsRegistry()
     cluster = Cluster(sim, params, with_controller=config.needs_controller)
+    if faults is not None:
+        faults.install(sim, cluster)
     segment = SharedSegment(params)
     app.allocate(segment)
     protocol = _build_protocol(config, sim, cluster, params, segment)
@@ -249,4 +282,13 @@ def run_app(app, config: ProtocolConfig,
                                     name=f"{app.name}-verify")
         sim.run(until=epilogue_done)
         result.verified = True
+    if snapshot_memory:
+        api0 = DsmApi(protocol, 0)
+        snapshot_done = sim.process(
+            _snapshot_body(api0, segment.total_words,
+                           params.words_per_page),
+            name=f"{app.name}-snapshot")
+        result.final_memory = sim.run(until=snapshot_done)
+    if faults is not None:
+        result.fault_stats = faults.summary(cluster)
     return result

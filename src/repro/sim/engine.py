@@ -328,7 +328,8 @@ class Process(Event):
         be interrupted.
         """
         if self.triggered:
-            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+            raise RuntimeError(
+                f"cannot interrupt finished process {self.name}")
         if self.sim._active_process is self:
             raise RuntimeError("a process cannot interrupt itself")
         # Detach from whatever event the process was waiting on.

@@ -166,7 +166,8 @@ class Resource:
     def release(self, request: Request) -> None:
         users = self.users
         if request not in users:
-            raise RuntimeError(f"releasing a request not in service: {request}")
+            raise RuntimeError(
+                f"releasing a request not in service: {request}")
         now = self.sim.now
         self.busy_time += len(users) * (now - self._last_change)
         self._last_change = now
@@ -342,7 +343,8 @@ class PriorityStore(Store):
     def __len__(self) -> int:
         return len(self._heap)
 
-    def put(self, item: Any, priority: int = 0) -> None:  # type: ignore[override]
+    def put(self, item: Any,
+            priority: int = 0) -> None:  # type: ignore[override]
         self.total_puts += 1
         self._seq += 1
         heapq.heappush(self._heap, (priority, self._seq, item))

@@ -35,7 +35,8 @@ __all__ = ["TraceEvent", "Tracer", "DEFAULT_CATEGORIES"]
 # a convenience, not a registry.  "req" carries the request-lifecycle
 # legs (issue / svc / done) that stats/causal.py stitches into spans.
 DEFAULT_CATEGORIES = ("fault", "diff", "notice", "prefetch", "lock",
-                      "barrier", "ctrl", "msg", "net", "au", "req")
+                      "barrier", "ctrl", "msg", "net", "au", "req",
+                      "retx")
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,7 @@ from __future__ import annotations
 import bisect
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.stats.breakdown import Category
 
@@ -296,7 +296,8 @@ class CausalAnalysis:
 
     # -- cross-check against TimeBreakdown ----------------------------------
 
-    def compare_with(self, breakdowns: Iterable) -> Dict[str, Dict[str, float]]:
+    def compare_with(
+            self, breakdowns: Iterable) -> Dict[str, Dict[str, float]]:
         """Span totals vs. the charged :class:`TimeBreakdown` cycles."""
         charged = {"data": 0.0, "synch": 0.0, "ipc": 0.0}
         for b in breakdowns:
@@ -393,7 +394,8 @@ class CausalAnalysis:
         if breakdowns is not None:
             check = self.compare_with(breakdowns)
             parts = ", ".join(
-                f"{key} {row['spans'] / 1e6:.2f}M vs {row['charged'] / 1e6:.2f}M "
+                f"{key} {row['spans'] / 1e6:.2f}M "
+                f"vs {row['charged'] / 1e6:.2f}M "
                 f"({100 * row['rel_err']:.2f}%)"
                 for key, row in check.items())
             lines.append(f"  spans vs charged: {parts}")

@@ -194,15 +194,17 @@ class RunReport:
 
 
 # Schemas `repro validate` accepts.  Version 1 run reports (pre-causal)
-# remain readable; repro-bench/1 is the benchmark-regression archive.
+# remain readable; repro-bench/1 is the benchmark-regression archive;
+# repro-chaos/1 is the fault-sweep report `repro chaos` writes.
 KNOWN_SCHEMAS = ("repro-run-report/1", "repro-run-report/2",
-                 "repro-bench/1")
+                 "repro-bench/1", "repro-chaos/1")
 
 # Top-level keys that must be present per schema.
 _REQUIRED_KEYS = {
     "repro-run-report/1": ("run",),
     "repro-run-report/2": ("run",),
     "repro-bench/1": ("generated_by", "runs"),
+    "repro-chaos/1": ("spec", "rows", "survived", "ok"),
 }
 
 
@@ -236,6 +238,21 @@ def validate_report(doc) -> List[str]:
             problems.append("'warnings' must be a list")
         if "execution" in doc and not isinstance(doc["execution"], dict):
             problems.append("'execution' must be an object")
+    elif schema == "repro-chaos/1":
+        rows = doc.get("rows")
+        if rows is not None:
+            if not isinstance(rows, list) or not rows:
+                problems.append("'rows' must be a non-empty list")
+            else:
+                for i, entry in enumerate(rows):
+                    if not isinstance(entry, dict):
+                        problems.append(f"rows[{i}] must be an object")
+                        continue
+                    for key in ("app", "protocol", "seed", "survived",
+                                "memory"):
+                        if key not in entry:
+                            problems.append(
+                                f"rows[{i}] missing key {key!r}")
     elif schema == "repro-bench/1":
         runs = doc.get("runs")
         if runs is not None:

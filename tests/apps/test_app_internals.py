@@ -12,7 +12,7 @@ from repro.apps.tsp import Tsp
 from repro.apps.water import Water, _pair_forces
 
 
-# -- base helpers --------------------------------------------------------------
+# -- base helpers -------------------------------------------------------------
 
 def test_block_range_partitions_exactly():
     app = Application.__new__(Application)
@@ -47,7 +47,7 @@ def test_invalid_nprocs_rejected():
         Ocean(0)
 
 
-# -- TSP ------------------------------------------------------------------------
+# -- TSP ----------------------------------------------------------------------
 
 def test_greedy_bound_is_a_valid_tour_cost():
     app = Tsp(2, n_cities=8)
@@ -76,7 +76,7 @@ def test_tsp_rejects_tiny_instances():
         Tsp(2, n_cities=3)
 
 
-# -- Water -------------------------------------------------------------------------
+# -- Water --------------------------------------------------------------------
 
 def test_pair_forces_newton_third_law():
     rng = np.random.default_rng(1)
@@ -100,7 +100,7 @@ def test_water_reference_deterministic():
     assert np.array_equal(a, b)
 
 
-# -- Ocean ------------------------------------------------------------------------
+# -- Ocean --------------------------------------------------------------------
 
 def test_initial_grid_boundaries():
     grid = _initial_grid(10)
@@ -118,7 +118,7 @@ def test_ocean_rejects_tiny_grid():
         Ocean(2, grid=3)
 
 
-# -- Radix -------------------------------------------------------------------------
+# -- Radix --------------------------------------------------------------------
 
 def test_radix_pass_count():
     app = Radix(2, n_keys=64, radix_bits=4, key_bits=12)
@@ -138,7 +138,7 @@ def test_radix_sorted_base_parity():
     assert odd.sorted_base() == odd.keys_b
 
 
-# -- Em3d --------------------------------------------------------------------------
+# -- Em3d ---------------------------------------------------------------------
 
 def test_em3d_graph_remote_fraction_respected():
     app = Em3d(4, n_nodes=2048, degree=5, remote_frac=0.1)
@@ -173,7 +173,7 @@ def test_em3d_reference_deterministic():
     assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
 
 
-# -- Barnes -------------------------------------------------------------------------
+# -- Barnes -------------------------------------------------------------------
 
 def test_barnes_reference_matches_two_runs():
     a = Barnes(2, n_bodies=24, steps=1).reference_solution()

@@ -1,7 +1,6 @@
 """Correctness under the ablation knobs (they change timing, not data)."""
 
 import numpy as np
-import pytest
 
 from repro.dsm.aurc import HOME, Aurc
 from repro.dsm.overlap import mode_by_name

@@ -1,7 +1,6 @@
 """End-to-end AURC protocol behaviour on tiny workloads."""
 
 import numpy as np
-import pytest
 
 from repro.dsm.aurc import HOME, PAIRWISE, SOLO
 from repro.stats.breakdown import Category
@@ -194,7 +193,7 @@ def test_aurc_prefetch_installs_pages(make_rig):
                     yield from api.read(base + other * 1024, 1024)
             yield from api.barrier(10 + it)
 
-    results = rig.run_workers(*[writer(rig.apis[p], p) for p in range(4)])
+    rig.run_workers(*[writer(rig.apis[p], p) for p in range(4)])
     stats = rig.protocol.stats.prefetch
     assert stats.issued > 0
     assert stats.useful + stats.useless + stats.late > 0

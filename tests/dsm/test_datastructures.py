@@ -44,7 +44,7 @@ def test_vector_clock_equality():
     assert VectorClock(values=[1, 2]) != VectorClock(values=[2, 1])
 
 
-# -- interval log ----------------------------------------------------------------
+# -- interval log -------------------------------------------------------------
 
 def _rec(writer, iid, pages=(1,), vc=()):
     return IntervalRecord(writer=writer, interval_id=iid,
@@ -75,7 +75,7 @@ def test_records_behind_vector_clock():
     assert {(r.writer, r.interval_id) for r in behind} == {(0, 2), (1, 1)}
 
 
-# -- diffs -------------------------------------------------------------------------
+# -- diffs --------------------------------------------------------------------
 
 def test_diff_from_mask_captures_dirty_words():
     frame = np.arange(16, dtype=np.float64)
@@ -115,7 +115,7 @@ def test_apply_order_respects_dominance():
     assert apply_order([late, early]) == [early, late]
 
 
-# -- TmPage --------------------------------------------------------------------------
+# -- TmPage -------------------------------------------------------------------
 
 @pytest.fixture
 def page():
@@ -199,7 +199,7 @@ def test_applied_snapshot_adoption(page):
     assert other.applied[2] == 7
 
 
-# -- overlap modes -----------------------------------------------------------------------
+# -- overlap modes ------------------------------------------------------------
 
 def test_mode_catalog():
     assert len(ALL_MODES) == 6
@@ -220,7 +220,7 @@ def test_unknown_mode_name():
         mode_by_name("Turbo")
 
 
-# -- shared segment ------------------------------------------------------------------------
+# -- shared segment -----------------------------------------------------------
 
 def test_segment_page_aligned_allocation():
     seg = SharedSegment(MachineParams())

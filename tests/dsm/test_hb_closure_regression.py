@@ -11,7 +11,6 @@ per-stripe locks); this test distills that pattern.
 """
 
 import numpy as np
-import pytest
 
 
 def test_striped_accumulation_never_loses_contributions(make_rig):
@@ -47,8 +46,6 @@ def test_striped_accumulation_never_loses_contributions(make_rig):
 
 def test_diff_reply_bounded_by_notices(make_rig):
     """A reply must not cover intervals beyond the request's through_id."""
-    from repro.dsm.protocol import DiffRequest
-
     rig = make_rig(n=2)
     base = rig.alloc("p", 16)
     served = []

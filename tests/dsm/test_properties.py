@@ -13,7 +13,6 @@ and AURC (with and without prefetching).
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

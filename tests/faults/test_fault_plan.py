@@ -1,0 +1,123 @@
+"""Unit tests for FaultSpec / FaultPlan: JSON round trips, seeded
+determinism, bounded drops, and install-time arming."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.hardware.node import Cluster
+from repro.hardware.params import MachineParams
+from repro.sim import Simulator
+
+
+def test_spec_json_round_trip():
+    spec = FaultSpec.chaos()
+    again = FaultSpec.from_dict(spec.to_dict())
+    assert again == spec
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown FaultSpec keys"):
+        FaultSpec.from_dict({"drop_prob": 0.1, "flux_capacitor": 1})
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(seed=7, spec=FaultSpec.chaos())
+    again = FaultPlan.from_json(plan.to_json())
+    assert again.seed == 7
+    assert again.spec == plan.spec
+
+
+def test_empty_spec_is_unarmed():
+    spec = FaultSpec()
+    assert spec.empty
+    assert not spec.message_faults_armed
+    assert not spec.network_armed
+    assert not spec.controller_armed
+    assert not FaultSpec.chaos().empty
+
+
+def test_same_seed_same_verdict_sequence():
+    spec = FaultSpec.chaos()
+    a = FaultPlan(seed=3, spec=spec)
+    b = FaultPlan(seed=3, spec=spec)
+    verdicts_a = [a.message_verdict(0, 1) for _ in range(200)]
+    verdicts_b = [b.message_verdict(0, 1) for _ in range(200)]
+    assert verdicts_a == verdicts_b
+    c = FaultPlan(seed=4, spec=spec)
+    verdicts_c = [c.message_verdict(0, 1) for _ in range(200)]
+    assert verdicts_a != verdicts_c
+
+
+def test_consecutive_drops_are_bounded():
+    spec = FaultSpec(drop_prob=1.0, max_consecutive_drops=3)
+    plan = FaultPlan(seed=0, spec=spec)
+    fates = [plan.message_verdict(0, 1).drop for _ in range(12)]
+    # With certain drops, exactly every (max+1)-th attempt is forced
+    # through so delivery stays live.
+    assert fates == [True, True, True, False] * 3
+
+
+def test_drop_bound_is_per_channel():
+    spec = FaultSpec(drop_prob=1.0, max_consecutive_drops=2)
+    plan = FaultPlan(seed=0, spec=spec)
+    assert plan.message_verdict(0, 1).drop
+    assert plan.message_verdict(0, 2).drop
+    assert plan.message_verdict(0, 1).drop
+    # Acks count their own streaks.
+    assert plan.ack_dropped(1, 0)
+    assert plan.ack_dropped(1, 0)
+    assert not plan.ack_dropped(1, 0)
+
+
+def test_plan_is_single_use():
+    params = MachineParams().replace(n_processors=4)
+    plan = FaultPlan(seed=1, spec=FaultSpec.chaos())
+    sim = Simulator()
+    plan.install(sim, Cluster(sim, params, with_controller=True))
+    with pytest.raises(RuntimeError, match="single-use"):
+        plan.install(sim, Cluster(sim, params, with_controller=True))
+
+
+def test_install_arms_only_requested_families():
+    params = MachineParams().replace(n_processors=4)
+
+    sim = Simulator()
+    cluster = Cluster(sim, params, with_controller=True)
+    FaultPlan(seed=1, spec=FaultSpec()).install(sim, cluster)
+    assert cluster.network.faults is None
+    assert all(node.nic.faults is None for node in cluster.nodes)
+    assert all(node.controller.faults is None for node in cluster.nodes)
+    assert all(node.cpu.slowdown == 1.0 for node in cluster.nodes)
+
+    sim = Simulator()
+    cluster = Cluster(sim, params, with_controller=True)
+    plan = FaultPlan(seed=1, spec=FaultSpec.chaos())
+    plan.install(sim, cluster)
+    assert cluster.network.faults is plan
+    assert all(node.nic.faults is plan for node in cluster.nodes)
+    assert all(node.controller.faults is plan for node in cluster.nodes)
+    assert cluster.nodes[1].cpu.slowdown == pytest.approx(1.25)
+    assert cluster.nodes[0].cpu.slowdown == 1.0
+
+
+def test_straggler_only_spec_arms_only_the_cpu():
+    params = MachineParams().replace(n_processors=4)
+    sim = Simulator()
+    cluster = Cluster(sim, params, with_controller=False)
+    spec = FaultSpec(straggler_nodes=(2,), straggler_factor=2.0)
+    assert not spec.empty
+    FaultPlan(seed=0, spec=spec).install(sim, cluster)
+    assert cluster.network.faults is None
+    assert all(node.nic.faults is None for node in cluster.nodes)
+    assert cluster.nodes[2].cpu.slowdown == 2.0
+
+
+def test_route_armed_respects_spike_link_scoping():
+    spec = FaultSpec(spike_prob=1.0, spike_links=((0, 1),))
+    plan = FaultPlan(seed=0, spec=spec)
+    assert plan.route_armed([(0, 1), (1, 3)])
+    assert not plan.route_armed([(2, 3)])
+    # Unscoped spikes arm every route.
+    assert FaultPlan(seed=0, spec=FaultSpec(spike_prob=0.5)) \
+        .route_armed([(2, 3)])
+    assert not FaultPlan(seed=0, spec=FaultSpec()).route_armed([(0, 1)])

@@ -82,7 +82,7 @@ def test_miss_rate_statistics(params):
     assert cache.access_range(0, 8).misses == 1
 
 
-# -- write buffer ----------------------------------------------------------------
+# -- write buffer -------------------------------------------------------------
 
 def test_small_burst_absorbed(params):
     wb = WriteBuffer(params)
@@ -103,7 +103,7 @@ def test_zero_write_burst(params):
     assert wb.write_burst(0) == 0.0
 
 
-# -- TLB ------------------------------------------------------------------------
+# -- TLB ----------------------------------------------------------------------
 
 def test_tlb_hit_after_fill(params):
     tlb = Tlb(params)

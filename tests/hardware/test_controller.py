@@ -137,7 +137,8 @@ def test_software_diff_apply_scales_with_dirty_words(rig):
     sim.run(until=done)
     # Scattered apply: one setup per cache-line-sized group.
     groups = -(-100 // params.words_per_line)
-    mem = groups * params.memory_setup_cycles + 100 * params.memory_cycles_per_word
+    mem = (groups * params.memory_setup_cycles
+           + 100 * params.memory_cycles_per_word)
     assert sim.now == 100 * 7 + mem
 
 

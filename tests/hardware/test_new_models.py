@@ -1,6 +1,5 @@
 """Tests for scattered memory access, update splitting, priorities."""
 
-import pytest
 
 from repro.hardware.controller import (
     PRIORITY_PREFETCH,
@@ -79,7 +78,7 @@ def test_memory_latency_knob_scales_scattered_cost():
     assert cost(200) - cost(100) == 8 * 10
 
 
-# -- automatic-update splitting ------------------------------------------------
+# -- automatic-update splitting -----------------------------------------------
 
 def test_large_write_splits_into_write_cache_flushes():
     sim = Simulator()
@@ -105,7 +104,7 @@ def test_small_writes_combine_up_to_capacity():
     assert s3 == 2
 
 
-# -- controller priority tiers ----------------------------------------------------
+# -- controller priority tiers ------------------------------------------------
 
 def test_three_priority_tiers_order():
     sim = Simulator()

@@ -72,7 +72,7 @@ def test_missing_handler_raises():
         sim.run()
 
 
-# -- automatic updates -----------------------------------------------------------
+# -- automatic updates --------------------------------------------------------
 
 def test_automatic_update_delivered_and_sequenced():
     sim, params, cluster = make_cluster()
@@ -112,7 +112,6 @@ def test_flush_waits_for_all_updates():
     engine = cluster[0].nic.au_engine
     cluster[1].nic.au_handler = lambda *a: None
     delivered = []
-    orig = cluster[1].nic.au_handler
     cluster[1].nic.au_handler = lambda *a: delivered.append(sim.now)
 
     def writer():
@@ -165,7 +164,7 @@ def test_wait_for_already_arrived_returns_immediately():
     assert p.value == t
 
 
-# -- compute processor -------------------------------------------------------------
+# -- compute processor --------------------------------------------------------
 
 def test_hold_charges_category():
     sim, params, cluster = make_cluster()

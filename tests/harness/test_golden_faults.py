@@ -1,0 +1,53 @@
+"""An all-empty FaultPlan must be bit-identical to no plan at all.
+
+``repro chaos`` and ``--faults`` promise that installing a plan whose
+spec arms nothing leaves every fast path untouched: the NIC keeps its
+legacy fire-and-forget flights, the network keeps fused transfers, the
+controller never stalls, and no RNG is ever drawn.  The cheapest proof
+is the strongest one we already have: the golden cycle fixture.  Every
+quick configuration must reproduce its pinned cycles exactly when run
+under ``FaultPlan(seed=0, spec=FaultSpec())``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.harness.experiments import scaled_app
+from repro.harness.runner import ProtocolConfig, run_app
+
+FIXTURE = pathlib.Path(__file__).parent.parent / "fixtures" \
+    / "golden_cycles.json"
+
+with FIXTURE.open() as fh:
+    GOLDEN = json.load(fh)
+
+
+def _config_for(label: str) -> ProtocolConfig:
+    if label.startswith("TM/"):
+        return ProtocolConfig.treadmarks(label[3:])
+    return ProtocolConfig.aurc(prefetch=label.endswith("+P"))
+
+
+def _parse_key(key: str):
+    parts = key.split("/")
+    return parts[0], int(parts[-2][:-1]), "/".join(parts[1:-2])
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["runs"]))
+def test_empty_fault_plan_is_cycle_identical(key):
+    app_name, procs, label = _parse_key(key)
+    expected = GOLDEN["runs"][key]
+    plan = FaultPlan(seed=0, spec=FaultSpec())
+    result = run_app(scaled_app(app_name, procs, quick=True),
+                     _config_for(label), faults=plan)
+    assert result.execution_cycles == expected["execution_cycles"], \
+        f"{key}: empty fault plan changed execution_cycles"
+    assert list(result.finish_times) == expected["finish_times"], \
+        f"{key}: empty fault plan changed finish_times"
+    assert result.merged_breakdown.as_dict() == expected["breakdown"], \
+        f"{key}: empty fault plan changed the breakdown"
+    # And the plan itself must have stayed inert.
+    assert not plan.injected

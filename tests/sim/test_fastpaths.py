@@ -7,7 +7,6 @@ fewer heap events.  The tests pin both halves -- the equivalence and
 the event saving.
 """
 
-import pytest
 
 from repro.sim import Event, Resource, Simulator, Store, Timeout, fused_burst
 
@@ -55,7 +54,7 @@ def test_pooled_event_not_reused_while_scheduled():
     sim = Simulator()
 
     def proc():
-        t = sim.pooled_timeout(10)
+        sim.pooled_timeout(10)
         # Losing the race: something else wakes us first; the pooled
         # timeout's heap entry is still pending.
         gate = Event(sim)
@@ -190,8 +189,6 @@ def test_daemon_completion_skips_heap_event():
 
     sim.process(spawner())
     sim.run()
-    baseline = sim.events_processed
-
     sim2 = Simulator()
 
     def spawner2():

@@ -77,7 +77,7 @@ def test_empty_breakdown_fractions():
     assert b.diff_fraction() == 0.0
 
 
-# -- report rendering ----------------------------------------------------------
+# -- report rendering ---------------------------------------------------------
 
 @pytest.fixture(scope="module")
 def sample_results():

@@ -52,7 +52,7 @@ def analyses(em3d_overlap, water_base, em3d_aurc):
     }
 
 
-# -- acceptance properties -----------------------------------------------------
+# -- acceptance properties ----------------------------------------------------
 
 def test_no_orphaned_request_ids(analyses):
     for name, analysis in analyses.items():
@@ -189,7 +189,7 @@ def test_prefetch_requests_flagged_and_in_flight_tracked(em3d_overlap,
     assert set(analysis.in_flight).isdisjoint(analysis.orphans)
 
 
-# -- prefetch outcome classification vs. trace spans ---------------------------
+# -- prefetch outcome classification vs. trace spans --------------------------
 
 @pytest.mark.parametrize("fixture_name", ["em3d_overlap", "em3d_aurc"])
 def test_prefetch_trace_events_agree_with_counters(fixture_name, request):
