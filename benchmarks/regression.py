@@ -2,28 +2,45 @@
 
 Runs a fixed matrix of quick app x protocol configurations (see
 :mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
-(default ``BENCH_pr5.json``): simulated execution cycles, host
+(default ``BENCH_pr6.json``): simulated execution cycles, host
 wall-clock seconds, and the per-category time fractions (busy / data /
 synch / ipc / others, plus the overlapping diff fraction) for each
-configuration.  CI runs this on every push and uploads the archive as
-an artifact, so regressions in either simulated timing or simulator
-throughput show up as diffs between runs.
+configuration.  CI runs this on every push, uploads the archive as an
+artifact, and feeds it to ``repro regress`` against the committed
+``BENCH_*.json`` history.
+
+**The committed copy is part of the contract.**  The archive this
+script writes by default must also be checked into the tree -- that is
+the history the regression gate diffs against.  The harness fails
+loudly (and so does the test suite) when the default archive named
+here is missing from the repo, so an uncommitted-archive gap cannot
+recur silently; pass ``--allow-uncommitted`` only when bootstrapping a
+new archive generation.
+
+``--fault-seed N`` records a *synthetic slowdown* candidate: the same
+matrix keys, but every run executes under a fixed-seed chaos fault
+schedule that deterministically inflates its simulated cycles.  CI uses
+this to self-test the regression gate -- ``repro regress`` must flag
+such an archive, or the gate is vacuous.
 
 The matrix goes through the parallel sweep layer: ``--jobs N`` fans the
 configurations out over a process pool, and the on-disk result cache
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with
 ``--no-cache``) makes a re-run on unchanged code near-instant.
 Cache-served rows carry ``"cached": true`` plus the wall time of the
-original computation.
+original computation.  (Faulted runs never touch the cache.)
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr5.json
+    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr6.json
     PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
+    PYTHONPATH=src python benchmarks/regression.py --check
+    PYTHONPATH=src python benchmarks/regression.py \\
+        --fault-seed 7 --out /tmp/BENCH_slow.json
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
-Validate the outputs with ``python -m repro validate BENCH_pr5.json``.
+Validate the outputs with ``python -m repro validate BENCH_pr6.json``.
 """
 
 from __future__ import annotations
@@ -31,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 
 from repro.harness.bench import (
     CONFIGS,
@@ -38,6 +56,7 @@ from repro.harness.bench import (
     build_archive,
     config_for,
     fault_overhead_row,
+    faulted_matrix,
     run_matrix,
 )
 from repro.harness.experiments import scaled_app
@@ -45,14 +64,58 @@ from repro.harness.parallel import ResultCache, SweepRunner
 from repro.harness.runner import run_app
 from repro.stats.report import RunReport
 
-__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix", "main"]
+__all__ = ["CONFIGS", "SCHEMA", "DEFAULT_OUT", "committed_archive_path",
+           "check_committed_archive", "config_for", "run_matrix", "main"]
+
+# The archive this harness claims to write -- and therefore the file
+# that must exist, committed, at the repo root.
+DEFAULT_OUT = "BENCH_pr6.json"
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def committed_archive_path() -> str:
+    """Where the committed copy of :data:`DEFAULT_OUT` must live."""
+    return os.path.join(_REPO_ROOT, DEFAULT_OUT)
+
+
+def check_committed_archive() -> list:
+    """Problems with the committed default archive; empty when healthy.
+
+    Checked by the test suite and by every generation run, so renaming
+    ``DEFAULT_OUT`` without committing the matching archive fails
+    loudly instead of leaving the regression gate diffing against a
+    stale history.
+    """
+    path = committed_archive_path()
+    if not os.path.exists(path):
+        return [f"{DEFAULT_OUT} is missing from the tree: "
+                f"benchmarks/regression.py claims to write it, but no "
+                f"committed copy exists at {path}. Generate it "
+                f"(--allow-uncommitted) and commit it -- the regression "
+                f"gate diffs against the committed history."]
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path} is unreadable: {exc}"]
+    from repro.stats.report import validate_report
+    problems = validate_report(doc)
+    if problems:
+        return [f"{path}: {p}" for p in problems]
+    if doc.get("schema") != SCHEMA:
+        return [f"{path}: schema {doc.get('schema')!r}, expected "
+                f"{SCHEMA!r}"]
+    if not doc.get("runs"):
+        return [f"{path}: archive has no runs"]
+    return []
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="record the benchmark regression archive")
-    parser.add_argument("--out", default="BENCH_pr5.json",
-                        help="archive path (default: BENCH_pr5.json)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"archive path (default: {DEFAULT_OUT})")
     parser.add_argument("--procs", type=int, default=4)
     parser.add_argument("--full", action="store_true",
                         help="use full problem sizes (slow; default is "
@@ -62,25 +125,60 @@ def main(argv=None) -> int:
                              "(default: all cores; 1 = serial in-process)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk result cache")
+    parser.add_argument("--check", action="store_true",
+                        help="only verify the committed default archive "
+                             "exists and validates; run nothing")
+    parser.add_argument("--allow-uncommitted", action="store_true",
+                        help="skip the committed-archive check (only "
+                             "for bootstrapping a new archive)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N",
+                        help="record a synthetic-slowdown candidate: "
+                             "run the matrix under seeded chaos faults "
+                             "(deterministically slower cycles; used to "
+                             "self-test the regression gate)")
     parser.add_argument("--report", metavar="FILE", default=None,
                         help="also run one traced configuration and "
                              "write its RunReport v2 JSON to FILE")
     args = parser.parse_args(argv)
 
+    if args.check:
+        problems = check_committed_archive()
+        for problem in problems:
+            print(f"ERROR: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"committed archive ok: {committed_archive_path()}")
+        return 1 if problems else 0
+    if not args.allow_uncommitted:
+        problems = check_committed_archive()
+        if problems:
+            for problem in problems:
+                print(f"ERROR: {problem}", file=sys.stderr)
+            return 1
+
     quick = not args.full
-    cache = None if args.no_cache else ResultCache()
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
-    print(f"benchmark regression: {len(CONFIGS)} configs, "
-          f"{args.procs} procs, {'quick' if quick else 'full'} sizes, "
-          f"jobs={runner.jobs}, "
-          f"cache={'off' if cache is None else cache.root}")
-    rows = run_matrix(procs=args.procs, quick=quick, runner=runner)
-    rows.append(fault_overhead_row(procs=args.procs, quick=quick))
-    doc = build_archive(rows, runner=runner)
+    if args.fault_seed is not None:
+        print(f"benchmark regression (SYNTHETIC SLOWDOWN, fault seed "
+              f"{args.fault_seed}): {len(CONFIGS)} configs, "
+              f"{args.procs} procs, {'quick' if quick else 'full'} sizes")
+        rows = faulted_matrix(procs=args.procs, quick=quick,
+                              seed=args.fault_seed)
+        doc = build_archive(
+            rows, generated_by="benchmarks/regression.py --fault-seed")
+    else:
+        cache = None if args.no_cache else ResultCache()
+        runner = SweepRunner(jobs=args.jobs, cache=cache)
+        print(f"benchmark regression: {len(CONFIGS)} configs, "
+              f"{args.procs} procs, {'quick' if quick else 'full'} "
+              f"sizes, jobs={runner.jobs}, "
+              f"cache={'off' if cache is None else cache.root}")
+        rows = run_matrix(procs=args.procs, quick=quick, runner=runner)
+        rows.append(fault_overhead_row(procs=args.procs, quick=quick))
+        doc = build_archive(rows, runner=runner)
+        print(f"cache: {runner.stats.summary()}")
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"cache: {runner.stats.summary()}")
     print(f"archive -> {args.out}")
 
     if args.report is not None:

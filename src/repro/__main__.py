@@ -46,6 +46,27 @@ Commands
     memory as its fault-free baseline.  ``--report FILE`` writes the
     ``repro-chaos/1`` JSON report; exits nonzero on any failure.
 
+``watch FILE``
+    Render a sweep log (``repro-sweep-log/1`` JSONL, written by
+    ``--sweep-log`` on figure/bench/chaos) as live progress lines;
+    ``--follow`` tails a log still being written.
+
+``diff A B``
+    Differential analysis of two run documents: cycle-category
+    attribution (exhaustive -- zero residual by construction), named
+    detail rows (retransmit backoff, controller queue-wait, ...), and
+    counter/network deltas.  Either side may be ``golden:KEY`` to diff
+    against the pinned golden-cycles fixture, or a bench archive with
+    ``--pick APP/PROTOCOL`` to select a row.
+
+``regress``
+    Check a candidate ``repro-bench/1`` archive against the committed
+    ``BENCH_*.json`` history: deterministic execution cycles gate
+    hard (0.5% tolerance), host wall/throughput numbers get
+    median+/-MAD noise bands (advisory unless ``--strict-host``).
+    ``--tax`` also measures the telemetry on-vs-off overhead.
+    Exits 0 clean / 1 regression / 2 unusable input.
+
 ``metrics FILE``
     Summarize a JSON run report written by ``run --metrics``.
 
@@ -74,6 +95,12 @@ Examples::
     python -m repro run Em3d --protocol I+P+D --quick --procs 4 \\
         --fault-seed 1
     python -m repro chaos --seeds 3 --quick --report chaos.json
+    python -m repro figure 1 --quick --sweep-log sweep.jsonl --watch
+    python -m repro watch sweep.jsonl --follow
+    python -m repro diff base-metrics.json faulted-metrics.json
+    python -m repro diff golden:Em3d/TM/I+P+D/4p/quick em3d-metrics.json
+    python -m repro regress --candidate BENCH_pr6.json \\
+        --history benchmarks/BENCH_*.json
     python -m repro metrics /tmp/em3d-metrics.json
     python -m repro trace /tmp/em3d.json --category fault --limit 20
     python -m repro validate BENCH_pr4.json /tmp/em3d-metrics.json
@@ -85,6 +112,7 @@ import argparse
 import json
 import os
 import sys
+from contextlib import contextmanager
 
 from repro.dsm.overlap import ALL_MODES
 from repro.harness import experiments, figures
@@ -112,6 +140,44 @@ def _add_sweep_flags(parser, default_jobs) -> None:
 def _make_runner(args) -> SweepRunner:
     cache = None if args.no_cache else ResultCache()
     return SweepRunner(jobs=args.jobs, cache=cache)
+
+
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument("--sweep-log", metavar="FILE", default=None,
+                        help="append telemetry events to FILE as "
+                             "repro-sweep-log/1 JSONL (tailable with "
+                             "'repro watch FILE --follow')")
+    parser.add_argument("--watch", action="store_true",
+                        help="stream live [watch] progress lines to "
+                             "stderr while the sweep runs")
+
+
+@contextmanager
+def _telemetry_sinks(args):
+    """Attach the --watch renderer and --sweep-log writer for the
+    duration of a command; the log's ``_meta`` trailer records an
+    abnormal exit."""
+    from repro.harness import telemetry
+
+    bus = telemetry.bus()
+    renderer = None
+    if getattr(args, "watch", False):
+        renderer = telemetry.LiveRenderer(
+            echo=lambda line: print(line, file=sys.stderr))
+        bus.subscribe(renderer)
+    try:
+        log_path = getattr(args, "sweep_log", None)
+        if log_path:
+            context = {"command": args.command,
+                       "argv": sys.argv[1:]}
+            with telemetry.SweepLogWriter(log_path, bus=bus,
+                                          context=context):
+                yield
+        else:
+            yield
+    finally:
+        if renderer is not None:
+            bus.unsubscribe(renderer)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -161,6 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: the figure's own app)")
     fig_p.add_argument("--quick", action="store_true")
     _add_sweep_flags(fig_p, default_jobs=os.cpu_count() or 1)
+    _add_telemetry_flags(fig_p)
 
     bench_p = sub.add_parser(
         "bench", help="run the benchmark regression matrix")
@@ -171,6 +238,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="use full problem sizes (slow; default is "
                               "the quick sizes CI uses)")
     _add_sweep_flags(bench_p, default_jobs=os.cpu_count() or 1)
+    _add_telemetry_flags(bench_p)
 
     prof_p = sub.add_parser(
         "profile",
@@ -244,6 +312,53 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--report", metavar="FILE", default=None,
                          help="write the repro-chaos/1 JSON report "
                               "to FILE")
+    _add_telemetry_flags(chaos_p)
+
+    watch_p = sub.add_parser(
+        "watch", help="render a sweep log as live progress lines")
+    watch_p.add_argument("file", help="repro-sweep-log/1 JSONL written "
+                                      "by --sweep-log")
+    watch_p.add_argument("--follow", action="store_true",
+                         help="keep tailing until the log's _meta "
+                              "trailer arrives (Ctrl-C to stop)")
+
+    diff_p = sub.add_parser(
+        "diff", help="differential analysis of two run documents")
+    diff_p.add_argument("a", help="run report / bench row / "
+                                  "golden:KEY baseline")
+    diff_p.add_argument("b", help="run report / bench row / golden:KEY")
+    diff_p.add_argument("--pick", metavar="APP/PROTOCOL", default=None,
+                        help="row to select when a side is a bench "
+                             "archive (e.g. Em3d/I+P+D)")
+    diff_p.add_argument("--top", type=int, default=10,
+                        help="rows per delta table (default: 10)")
+    diff_p.add_argument("--json", metavar="FILE", default=None,
+                        help="write the repro-diff/1 document to FILE")
+
+    reg_p = sub.add_parser(
+        "regress",
+        help="check a bench archive against the committed history")
+    reg_p.add_argument("--candidate", metavar="FILE", required=True,
+                       help="repro-bench/1 archive under test")
+    reg_p.add_argument("--history", metavar="FILE", nargs="+",
+                       required=True,
+                       help="committed BENCH_*.json archives")
+    reg_p.add_argument("--cycles-rtol", type=float, default=None,
+                       help="relative tolerance for deterministic "
+                            "execution cycles (default: 0.005)")
+    reg_p.add_argument("--strict-host", action="store_true",
+                       help="make wall/events-per-sec band violations "
+                            "blocking (history and candidate from the "
+                            "same host)")
+    reg_p.add_argument("--allow-missing", action="store_true",
+                       help="configs present in history but absent "
+                            "from the candidate are advisory, not "
+                            "blocking")
+    reg_p.add_argument("--tax", action="store_true",
+                       help="also measure telemetry on-vs-off overhead "
+                            "on the quick matrix (budget: 5%%)")
+    reg_p.add_argument("--json", metavar="FILE", default=None,
+                       help="write the repro-regress/1 report to FILE")
 
     met_p = sub.add_parser("metrics",
                            help="summarize a JSON run report")
@@ -322,11 +437,26 @@ def _cmd_run(args) -> int:
     import time
 
     app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
+    # Hold the tracer ourselves so a run that dies mid-simulation still
+    # flushes its partial trace with a well-formed _meta trailer.
+    tracer = None
+    if args.trace is not None:
+        from repro.sim.trace import Tracer
+        tracer = Tracer(None)
     start = time.perf_counter()
-    result = run_app(app, config, verify=not args.no_verify,
-                     trace=args.trace is not None,
-                     metrics=args.metrics is not None,
-                     faults=plan)
+    try:
+        result = run_app(app, config, verify=not args.no_verify,
+                         trace=tracer if tracer is not None else False,
+                         metrics=args.metrics is not None,
+                         faults=plan)
+    except BaseException as exc:
+        if tracer is not None and (tracer.events or tracer.dropped):
+            write_trace(tracer, args.trace,
+                        aborted=f"{type(exc).__name__}: {exc}")
+            print(f"run aborted; partial trace: {len(tracer.events)} "
+                  f"events ({tracer.dropped} dropped) -> {args.trace}",
+                  file=sys.stderr)
+        raise
     wall = time.perf_counter() - start
     print(format_run(result, verbose=args.verbose))
     if result.verified:
@@ -409,8 +539,21 @@ def _cmd_analyze(args) -> int:
     else:
         config = ProtocolConfig.treadmarks(args.protocol)
     app = experiments.scaled_app(args.app, args.procs, quick=args.quick)
-    result = run_app(app, config, verify=False, trace=True, metrics=True,
-                     trace_limit=2_000_000)
+    from repro.sim.trace import Tracer
+    tracer = Tracer(None, limit=2_000_000)
+    try:
+        result = run_app(app, config, verify=False, trace=tracer,
+                         metrics=True)
+    except BaseException as exc:
+        # Flush what we recorded before the run died -- a partial trace
+        # with a valid _meta beats a missing file when debugging.
+        if args.trace is not None and (tracer.events or tracer.dropped):
+            write_trace(tracer, args.trace,
+                        aborted=f"{type(exc).__name__}: {exc}")
+            print(f"run aborted; partial trace: {len(tracer.events)} "
+                  f"events ({tracer.dropped} dropped) -> {args.trace}",
+                  file=sys.stderr)
+        raise
     from repro.stats.causal import analyze_run
     analysis = analyze_run(result)
     print(format_run(result))
@@ -529,6 +672,142 @@ def _cmd_chaos(args) -> int:
               "failed verification", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.harness.telemetry import (
+        LiveRenderer,
+        read_sweep_log,
+        sweep_log_summary,
+    )
+
+    renderer = LiveRenderer()
+    if not args.follow:
+        try:
+            records = read_sweep_log(args.file)
+        except OSError as exc:
+            print(f"error: cannot read {args.file}: {exc}",
+                  file=sys.stderr)
+            return 1
+        renderer.replay(records)
+        summary = sweep_log_summary(records)
+        closed = "closed" if summary.get("closed") else "NOT CLOSED"
+        aborted = summary.get("aborted")
+        print(f"[watch] log {closed}"
+              + (f" (aborted: {aborted})" if aborted else "")
+              + f", {summary.get('events', len(records))} records")
+        return 0
+
+    # Tail mode: render records as they land, stop at the _meta trailer.
+    import time
+
+    while not os.path.exists(args.file):
+        time.sleep(0.2)
+    buffer = ""
+    try:
+        with open(args.file) as fh:
+            while True:
+                chunk = fh.read()
+                if chunk:
+                    buffer += chunk
+                    lines = buffer.split("\n")
+                    buffer = lines.pop()  # torn tail line, if any
+                    for line in lines:
+                        if not line.strip():
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue
+                        renderer(record)
+                        if record.get("kind") == "_meta":
+                            aborted = record.get("aborted")
+                            print("[watch] log closed"
+                                  + (f" (aborted: {aborted})"
+                                     if aborted else ""))
+                            return 0
+                else:
+                    time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("[watch] interrupted", file=sys.stderr)
+        return 130
+
+
+def _resolve_diff_source(spec: str, pick):
+    """CLI side-spec -> normalized run document.
+
+    ``golden:KEY`` loads the pinned fixture row; a bench archive needs
+    ``--pick APP/PROTOCOL`` to select a row; anything else goes through
+    :func:`repro.stats.diff.load_run_doc` unchanged.
+    """
+    from repro.stats.diff import golden_doc, load_run_doc
+
+    if spec.startswith("golden:"):
+        return golden_doc(spec[len("golden:"):])
+    with open(spec) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and isinstance(doc.get("runs"), list):
+        if pick is None:
+            raise ValueError(
+                f"{spec} is a bench archive with {len(doc['runs'])} "
+                f"rows; select one with --pick APP/PROTOCOL")
+        want = pick.lower()
+        for row in doc["runs"]:
+            key = f"{row.get('app', '')}/{row.get('protocol', '')}"
+            if key.lower() == want:
+                return load_run_doc(
+                    row, label=f"{os.path.basename(spec)}:{key}")
+        known = ", ".join(
+            f"{r.get('app')}/{r.get('protocol')}" for r in doc["runs"])
+        raise ValueError(f"--pick {pick!r} not in {spec}; rows: {known}")
+    return load_run_doc(doc, label=os.path.basename(spec))
+
+
+def _cmd_diff(args) -> int:
+    from repro.stats.diff import diff_runs, format_diff
+
+    try:
+        doc_a = _resolve_diff_source(args.a, args.pick)
+        doc_b = _resolve_diff_source(args.b, args.pick)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(doc_a, doc_b, top=args.top)
+    print(format_diff(diff, top=args.top))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(diff, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"diff document -> {args.json}")
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    from repro.stats import baseline
+
+    tax = None
+    if args.tax:
+        from repro.harness.telemetry import measure_telemetry_tax
+        print("measuring telemetry tax (quick matrix, on vs off)...")
+        tax = measure_telemetry_tax()
+        print(f"  telemetry on {tax['on_seconds']:.3f}s vs off "
+              f"{tax['off_seconds']:.3f}s: "
+              f"{100 * tax['overhead']:+.2f}%")
+    kwargs = {}
+    if args.cycles_rtol is not None:
+        kwargs["cycles_rtol"] = args.cycles_rtol
+    report = baseline.check_regressions(
+        args.candidate, args.history,
+        strict_host=args.strict_host,
+        allow_missing=args.allow_missing,
+        telemetry_tax=tax, **kwargs)
+    print(baseline.format_regressions(report))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"regress report -> {args.json}")
+    return report["exit_code"]
 
 
 def _format_labels(labels) -> str:
@@ -672,12 +951,17 @@ def main(argv=None) -> int:
         return _cmd_profile(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "chaos":
-        return _cmd_chaos(args)
+    if args.command in ("figure", "bench", "chaos"):
+        handler = {"figure": _cmd_figure, "bench": _cmd_bench,
+                   "chaos": _cmd_chaos}[args.command]
+        with _telemetry_sinks(args):
+            return handler(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "regress":
+        return _cmd_regress(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":

@@ -19,7 +19,7 @@ from repro.harness.runner import ProtocolConfig
 from repro.stats.breakdown import Category
 
 __all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix",
-           "fault_overhead_row", "build_archive"]
+           "faulted_matrix", "fault_overhead_row", "build_archive"]
 
 # The regression matrix: small enough for CI, wide enough to cover the
 # base protocol, the full overlap pipeline (prefetch + controller), and
@@ -87,6 +87,60 @@ def run_matrix(procs: int = 4, quick: bool = True,
                  f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
                  f"{wall:6.2f} s  {events:7d} ev "
                  f"{rate:9.0f} ev/s  [{origin}]")
+    return rows
+
+
+def faulted_matrix(procs: int = 4, quick: bool = True, seed: int = 7,
+                   configs: Sequence[Tuple[str, str]] = CONFIGS,
+                   echo=print) -> list:
+    """The regression matrix run under seeded chaos faults.
+
+    Row keys (app/protocol/procs/quick) match :func:`run_matrix`
+    exactly, but the fixed-seed straggler/fault schedule inflates every
+    row's simulated cycles deterministically.  This is the regression
+    gate's self-test: an archive recorded this way *must* be flagged by
+    ``repro regress`` against the clean history -- if it passes, the
+    gate is broken.  Runs go through ``run_app`` directly (faulted
+    results must never touch the result cache).
+    """
+    import time
+
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.harness.experiments import scaled_app
+    from repro.harness.runner import run_app
+
+    rows = []
+    for app_name, protocol in configs:
+        config = config_for(protocol)
+        plan = FaultPlan(seed=seed, spec=FaultSpec.chaos())
+        start = time.perf_counter()
+        result = run_app(scaled_app(app_name, procs, quick=quick),
+                         config, faults=plan)
+        wall = time.perf_counter() - start
+        merged = result.merged_breakdown
+        events = result.events_processed
+        rows.append({
+            "app": app_name,
+            "protocol": result.protocol_label,
+            "n_procs": procs,
+            "quick": quick,
+            "execution_cycles": result.execution_cycles,
+            "wall_seconds": wall,
+            "events_processed": events,
+            "events_per_second": events / wall if wall else 0.0,
+            "cached": False,
+            "fractions": {category.value: merged.fraction(category)
+                          for category in Category},
+            "diff_fraction": (merged.diff_cycles / merged.total
+                              if merged.total else 0.0),
+            "verified": result.verified,
+            "faulted": True,
+            "fault_seed": seed,
+        })
+        if echo is not None:
+            echo(f"  {app_name:8s} {result.protocol_label:12s} "
+                 f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
+                 f"{wall:6.2f} s  [faulted, seed {seed}]")
     return rows
 
 

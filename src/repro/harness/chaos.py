@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.faults import FaultPlan, FaultSpec
+from repro.harness import telemetry
 from repro.harness.bench import config_for
 from repro.harness.experiments import scaled_app
 from repro.harness.runner import run_app
@@ -67,6 +68,9 @@ def run_chaos(seeds: int = 3,
     ``repro-chaos/1`` report document."""
     spec = spec if spec is not None else FaultSpec.chaos()
     seed_values = list(range(1, seeds + 1))
+    telemetry.publish("chaos_started", apps=list(apps),
+                      protocols=list(protocols), seeds=seed_values,
+                      n_procs=procs, quick=quick)
     rows = []
     for app_name in apps:
         for protocol in protocols:
@@ -74,6 +78,10 @@ def run_chaos(seeds: int = 3,
             baseline = run_app(
                 scaled_app(app_name, procs, quick=quick), config,
                 snapshot_memory=True)
+            telemetry.publish(
+                "chaos_cell", app=app_name,
+                protocol=baseline.protocol_label, n_procs=procs,
+                baseline_cycles=baseline.execution_cycles)
             if echo is not None:
                 echo(f"  {app_name:8s} {baseline.protocol_label:8s} "
                      f"baseline {baseline.execution_cycles / 1e6:8.2f} "
@@ -107,6 +115,11 @@ def run_chaos(seeds: int = 3,
                                        / baseline.execution_cycles - 1.0)
                     row["faults"] = result.fault_stats
                 rows.append(row)
+                telemetry.publish(
+                    "chaos_run", app=app_name, protocol=row["protocol"],
+                    seed=seed, survived=row["survived"],
+                    verified=row["verified"], memory=row["memory"],
+                    overhead=row["overhead"], error=row["error"])
                 if echo is not None:
                     if row["survived"]:
                         injected = sum(
@@ -134,4 +147,7 @@ def run_chaos(seeds: int = 3,
         "matched": matched,
         "ok": survived == len(rows) and matched == len(rows),
     }
+    telemetry.publish("chaos_finished", total=len(rows),
+                      survived=survived, matched=matched,
+                      ok=report["ok"])
     return report

@@ -35,11 +35,12 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dsm.prefetch import PrefetchStats
+from repro.harness import telemetry
 from repro.harness.runner import ProtocolConfig, run_app
 from repro.hardware.params import MachineParams
 from repro.stats.breakdown import Category, TimeBreakdown
@@ -351,7 +352,8 @@ class SweepRunner:
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[ResultCache] = None,
-                 salt: Optional[str] = None):
+                 salt: Optional[str] = None,
+                 bus: Optional[telemetry.TelemetryBus] = None):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -360,6 +362,7 @@ class SweepRunner:
         self.cache = cache
         self.salt = code_salt() if salt is None else salt
         self.stats = SweepStats()
+        self.bus = bus if bus is not None else telemetry.bus()
         self._memo: Dict[str, dict] = {}
 
     # -- execution ---------------------------------------------------------
@@ -391,8 +394,30 @@ class SweepRunner:
             else:
                 to_run[key] = request
                 plan.append(("run", key))
-        self._execute(to_run)
-        self.stats.batch_seconds += time.perf_counter() - batch_start
+        bus = self.bus
+        if bus.active:
+            bus.publish("sweep_started", jobs=len(requests),
+                        unique=len(to_run),
+                        cached=len(requests) - len(to_run),
+                        workers=min(self.jobs, max(1, len(to_run))))
+            # Same-batch duplicates ("dup") are not in the memo yet --
+            # their event is published after compute fills it in.
+            for (kind, key), request in zip(plan, requests):
+                if kind == "hit":
+                    bus.publish(
+                        "job_cached", run=request.label, source="cache",
+                        wall_seconds=self._memo[key].get(
+                            "wall_seconds", 0.0))
+        compute = self._execute(to_run)
+        if bus.active:
+            for (kind, key), request in zip(plan, requests):
+                if kind == "dup":
+                    bus.publish(
+                        "job_cached", run=request.label, source="memo",
+                        wall_seconds=self._memo[key].get(
+                            "wall_seconds", 0.0))
+        elapsed = time.perf_counter() - batch_start
+        self.stats.batch_seconds += elapsed
 
         results: List[SimResult] = []
         for (kind, key), request in zip(plan, requests):
@@ -406,22 +431,88 @@ class SweepRunner:
                 self.stats.compute_seconds += result.wall_seconds
             self.stats.note_run(request, cached, result.wall_seconds)
             results.append(result)
+        if bus.active:
+            hits = len(requests) - len(to_run)
+            workers = min(self.jobs, max(1, len(to_run)))
+            bus.publish(
+                "sweep_finished", jobs=len(requests), hits=hits,
+                misses=len(to_run),
+                hit_rate=hits / len(requests) if requests else 0.0,
+                batch_seconds=elapsed, compute_seconds=compute,
+                worker_utilization=(compute / (workers * elapsed)
+                                    if elapsed > 0 else None))
         return results
 
-    def _execute(self, to_run: Dict[str, SimRequest]) -> None:
+    def _execute(self, to_run: Dict[str, SimRequest]) -> float:
+        """Run the cache misses; returns their summed compute seconds.
+
+        Completions stream to the telemetry bus as they happen (the
+        pooled path consumes futures with ``as_completed``), so a live
+        watcher sees per-job progress rather than one burst at the end
+        of the batch.  Result order -- and therefore every cached or
+        returned document -- is unaffected.
+        """
         if not to_run:
-            return
+            return 0.0
         items = list(to_run.items())
+        bus = self.bus
+        docs: Dict[str, dict] = {}
+        failure: Optional[BaseException] = None
         if self.jobs > 1 and len(items) > 1:
             workers = min(self.jobs, len(items))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                docs = list(pool.map(execute_request,
-                                     [request for _key, request in items],
-                                     chunksize=1))
+                futures = {}
+                for key, request in items:
+                    if bus.active:
+                        bus.publish("job_queued", run=request.label)
+                    futures[pool.submit(execute_request, request)] = \
+                        (key, request)
+                for future in as_completed(futures):
+                    key, request = futures[future]
+                    try:
+                        doc = future.result()
+                    except BaseException as exc:
+                        if bus.active:
+                            bus.publish("job_failed", run=request.label,
+                                        error=f"{type(exc).__name__}: "
+                                              f"{exc}")
+                        if failure is None:
+                            failure = exc
+                        continue
+                    docs[key] = doc
+                    if bus.active:
+                        self._publish_finished(request, doc)
         else:
-            docs = [execute_request(request) for _key, request in items]
-        for (key, request), doc in zip(items, docs):
+            for key, request in items:
+                if bus.active:
+                    bus.publish("job_started", run=request.label)
+                try:
+                    doc = execute_request(request)
+                except BaseException as exc:
+                    if bus.active:
+                        bus.publish("job_failed", run=request.label,
+                                    error=f"{type(exc).__name__}: {exc}")
+                    raise
+                docs[key] = doc
+                if bus.active:
+                    self._publish_finished(request, doc)
+        if failure is not None:
+            raise failure
+        compute = 0.0
+        for key, request in items:
+            doc = docs[key]
+            compute += doc.get("wall_seconds", 0.0)
             self._memo[key] = doc
             if self.cache is not None:
                 self.cache.put(key, doc,
                                request_payload=request.payload(self.salt))
+        return compute
+
+    def _publish_finished(self, request: SimRequest, doc: dict) -> None:
+        wall = doc.get("wall_seconds", 0.0)
+        events = doc.get("events_processed", 0)
+        self.bus.publish(
+            "job_finished", run=request.label, wall_seconds=wall,
+            execution_cycles=doc.get("execution_cycles"),
+            events_processed=events,
+            events_per_second=events / wall if wall else 0.0)

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.dsm.aurc import Aurc
 from repro.dsm.overlap import BASE, OverlapMode, mode_by_name
+from repro.harness import telemetry
 from repro.dsm.shmem import DsmApi, SharedSegment
 from repro.dsm.treadmarks import TreadMarks
 from repro.hardware.network import NetworkStats
@@ -199,7 +200,16 @@ def run_app(app, config: ProtocolConfig,
     :class:`MetricsRegistry` plus a periodic :class:`Sampler`; both end
     up on the result (``result.tracer`` / ``result.metrics``).  With
     both off -- the default -- no observability object is created and
-    the simulation pays only a None-check per emit site.
+    the simulation pays only a None-check per emit site.  ``trace`` may
+    also be a pre-built :class:`Tracer` (even one constructed with
+    ``sim=None``; it is bound to this run's simulator here): callers
+    holding the tracer before the run starts can flush a partial trace
+    when the run dies, instead of losing every recorded event.
+
+    Run start and completion are published to the process telemetry bus
+    (:mod:`repro.harness.telemetry`); with no subscribers -- the
+    default, and always the case inside pool workers -- that is a
+    single truthiness check.
 
     ``faults`` (a fresh :class:`~repro.faults.FaultPlan`) arms fault
     injection on the cluster before any worker starts; its summary
@@ -213,8 +223,14 @@ def run_app(app, config: ProtocolConfig,
         params = params.replace(n_processors=app.nprocs)
     sim = Simulator()
     if trace:
-        tracer = Tracer(sim, limit=trace_limit)
-        tracer.enable(*DEFAULT_CATEGORIES)
+        if isinstance(trace, Tracer):
+            tracer = trace
+            tracer.sim = sim
+            if not tracer.enabled:
+                tracer.enable(*DEFAULT_CATEGORIES)
+        else:
+            tracer = Tracer(sim, limit=trace_limit)
+            tracer.enable(*DEFAULT_CATEGORIES)
         sim.tracer = tracer
     if metrics:
         sim.metrics = MetricsRegistry()
@@ -229,6 +245,9 @@ def run_app(app, config: ProtocolConfig,
         sampler = Sampler(sim, sim.metrics, cluster, protocol,
                           interval=sample_interval)
 
+    telemetry.publish("run_started", app=app.name, protocol=config.label,
+                      n_procs=app.nprocs,
+                      faulted=faults is not None)
     done_events = []
     for pid in range(app.nprocs):
         api = DsmApi(protocol, pid)
@@ -291,4 +310,11 @@ def run_app(app, config: ProtocolConfig,
         result.final_memory = sim.run(until=snapshot_done)
     if faults is not None:
         result.fault_stats = faults.summary(cluster)
+    telemetry.publish(
+        "run_finished", app=app.name, protocol=config.label,
+        n_procs=app.nprocs, execution_cycles=execution_cycles,
+        wall_seconds=wall_seconds, events_processed=events_processed,
+        events_per_second=(events_processed / wall_seconds
+                          if wall_seconds else 0.0),
+        verified=result.verified, faulted=faults is not None)
     return result

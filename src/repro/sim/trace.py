@@ -67,7 +67,11 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` objects for enabled categories."""
 
-    def __init__(self, sim: Simulator, limit: Optional[int] = None):
+    def __init__(self, sim: Optional[Simulator],
+                 limit: Optional[int] = None):
+        # ``sim=None`` builds an unbound tracer; run_app binds it to the
+        # run's simulator, letting callers hold the tracer before the
+        # run starts (and flush a partial trace if the run dies).
         self.sim = sim
         self.limit = limit
         self.events: List[TraceEvent] = []

@@ -1,0 +1,281 @@
+"""Automated perf-regression detection over the ``BENCH_*.json``
+trajectory.
+
+Every benchmark archive (``benchmarks/regression.py``, ``repro bench``)
+is a ``repro-bench/1`` document whose rows carry, per configuration,
+both *simulated* results (execution cycles, category fractions) and
+*host* throughput (wall seconds, events/sec).  This module turns a set
+of archived documents into per-config noise bands and checks a
+candidate archive against them:
+
+* **Simulated cycles are deterministic**: the kernel is single-threaded
+  and seed-free, so across archives of the same code a config's
+  ``execution_cycles`` must agree exactly.  The check uses a tight
+  relative tolerance (default 0.5%) around the history median and
+  *blocks* on increase -- a cycles regression is real by definition, no
+  host noise involved.  A decrease is reported as an improvement (the
+  archive should be re-recorded, not failed).
+* **Host throughput is noisy**: wall seconds and events/sec vary by
+  machine, load, and Python version.  Bands are median +/-
+  ``max(k * MAD, rel_floor * median)`` (median absolute deviation, the
+  robust spread estimator for best-of-N style samples).  These checks
+  are *advisory* by default -- committed archives usually come from a
+  different host than the checker -- and blocking under
+  ``strict_host=True`` (CI passes it when history and candidate come
+  from the same job).
+
+Exit-code semantics (``repro regress``): 0 = clean, 1 = at least one
+blocking regression, 2 = unusable input (missing/invalid archives).
+"""
+
+from __future__ import annotations
+
+import json
+from statistics import median
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "REGRESS_SCHEMA", "row_key", "load_archive", "collect_history",
+    "fit_band", "check_regressions", "format_regressions",
+]
+
+REGRESS_SCHEMA = "repro-regress/1"
+
+# Defaults, overridable per call / CLI flag.
+CYCLES_RTOL = 0.005       # 0.5% around the history median
+WALL_MAD_K = 5.0          # band half-width in MADs ...
+WALL_REL_FLOOR = 0.30     # ... but never narrower than 30% of median
+EVPS_MAD_K = 5.0
+EVPS_REL_FLOOR = 0.30
+
+
+def row_key(row: Dict[str, Any]) -> str:
+    """Stable identity of one archive row across archives."""
+    sizes = "quick" if row.get("quick", True) else "full"
+    return (f"{row.get('app', '?')}/{row.get('protocol', '?')}/"
+            f"{row.get('n_procs', '?')}p/{sizes}")
+
+
+def load_archive(path: str) -> Dict[str, Any]:
+    """Load and structurally validate one ``repro-bench/1`` archive."""
+    from repro.stats.report import validate_report
+    with open(path) as fh:
+        doc = json.load(fh)
+    problems = validate_report(doc)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    if doc.get("schema") != "repro-bench/1":
+        raise ValueError(f"{path}: expected repro-bench/1, got "
+                         f"{doc.get('schema')!r}")
+    return doc
+
+
+def collect_history(paths: Sequence[str]) -> Dict[str, List[dict]]:
+    """Rows of every archive, grouped by :func:`row_key`.
+
+    Each entry also remembers which archive it came from (``_source``).
+    """
+    grouped: Dict[str, List[dict]] = {}
+    for path in paths:
+        doc = load_archive(path)
+        for row in doc.get("runs", []):
+            entry = dict(row)
+            entry["_source"] = path
+            grouped.setdefault(row_key(row), []).append(entry)
+    return grouped
+
+
+def fit_band(values: Sequence[float], mad_k: float,
+             rel_floor: float) -> Dict[str, float]:
+    """Median +/- max(k*MAD, rel_floor*median) noise band."""
+    vals = [float(v) for v in values]
+    center = median(vals)
+    mad = median([abs(v - center) for v in vals]) if len(vals) > 1 else 0.0
+    half = max(mad_k * mad, rel_floor * abs(center))
+    return {"n": len(vals), "center": center, "mad": mad,
+            "lo": center - half, "hi": center + half}
+
+
+def _cycles_verdict(cand: float, history: List[float],
+                    rtol: float) -> Tuple[str, Dict[str, Any]]:
+    ref = median(history)
+    rel = (cand - ref) / ref if ref else 0.0
+    info = {"reference": ref, "candidate": cand, "rel_delta": rel,
+            "rtol": rtol, "n": len(history)}
+    if rel > rtol:
+        return "regressed", info
+    if rel < -rtol:
+        return "improved", info
+    return "ok", info
+
+
+def check_regressions(candidate_path: str,
+                      history_paths: Sequence[str],
+                      cycles_rtol: float = CYCLES_RTOL,
+                      wall_mad_k: float = WALL_MAD_K,
+                      wall_rel_floor: float = WALL_REL_FLOOR,
+                      evps_mad_k: float = EVPS_MAD_K,
+                      evps_rel_floor: float = EVPS_REL_FLOOR,
+                      strict_host: bool = False,
+                      allow_missing: bool = False,
+                      telemetry_tax: Optional[dict] = None,
+                      tax_limit: float = 0.05) -> Dict[str, Any]:
+    """Check ``candidate_path`` against the archived history.
+
+    Returns the ``repro-regress/1`` report; ``report["ok"]`` reflects
+    blocking findings only, ``report["exit_code"]`` implements the CLI
+    contract (0 clean / 1 regression / 2 unusable input).
+    """
+    try:
+        candidate = load_archive(candidate_path)
+        history = collect_history(history_paths)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return {"schema": REGRESS_SCHEMA, "ok": False, "exit_code": 2,
+                "error": str(exc), "rows": []}
+    if not history:
+        return {"schema": REGRESS_SCHEMA, "ok": False, "exit_code": 2,
+                "error": "no history rows loaded "
+                         f"(archives: {list(history_paths)!r})",
+                "rows": []}
+
+    rows: List[Dict[str, Any]] = []
+    blocking: List[str] = []
+    advisories: List[str] = []
+    seen = set()
+    for row in candidate.get("runs", []):
+        key = row_key(row)
+        seen.add(key)
+        past = history.get(key)
+        result: Dict[str, Any] = {"config": key, "checks": {}}
+        if not past:
+            result["status"] = "new"
+            advisories.append(f"{key}: no history (new config)")
+            rows.append(result)
+            continue
+
+        verdicts = []
+        # Deterministic simulated time: blocking on increase.
+        verdict, info = _cycles_verdict(
+            float(row.get("execution_cycles", 0.0)),
+            [float(p.get("execution_cycles", 0.0)) for p in past],
+            cycles_rtol)
+        result["checks"]["execution_cycles"] = dict(info, verdict=verdict)
+        if verdict == "regressed":
+            blocking.append(
+                f"{key}: execution_cycles {info['candidate']:.0f} is "
+                f"{100 * info['rel_delta']:+.2f}% vs history median "
+                f"{info['reference']:.0f} (tolerance "
+                f"{100 * cycles_rtol:.2f}%)")
+        elif verdict == "improved":
+            advisories.append(
+                f"{key}: execution_cycles improved "
+                f"{100 * info['rel_delta']:+.2f}%; re-record the archive")
+        verdicts.append(verdict)
+
+        # Host throughput: noise-banded, advisory unless strict_host.
+        wall_band = fit_band(
+            [float(p.get("wall_seconds", 0.0)) for p in past],
+            wall_mad_k, wall_rel_floor)
+        wall = float(row.get("wall_seconds", 0.0))
+        wall_verdict = "regressed" if wall > wall_band["hi"] else (
+            "improved" if wall < wall_band["lo"] else "ok")
+        result["checks"]["wall_seconds"] = dict(
+            wall_band, candidate=wall, verdict=wall_verdict,
+            blocking=strict_host)
+        evps_band = fit_band(
+            [float(p.get("events_per_second", 0.0)) for p in past],
+            evps_mad_k, evps_rel_floor)
+        evps = float(row.get("events_per_second", 0.0))
+        evps_verdict = "regressed" if evps < evps_band["lo"] else (
+            "improved" if evps > evps_band["hi"] else "ok")
+        result["checks"]["events_per_second"] = dict(
+            evps_band, candidate=evps, verdict=evps_verdict,
+            blocking=strict_host)
+        for metric, verdict_, band, cand in (
+                ("wall_seconds", wall_verdict, wall_band, wall),
+                ("events_per_second", evps_verdict, evps_band, evps)):
+            if verdict_ != "regressed":
+                continue
+            message = (f"{key}: {metric} {cand:.4g} outside noise band "
+                       f"[{band['lo']:.4g}, {band['hi']:.4g}] "
+                       f"(median {band['center']:.4g}, n={band['n']})")
+            if strict_host:
+                blocking.append(message)
+            else:
+                advisories.append(message + " [advisory: cross-host]")
+        verdicts.extend([wall_verdict if strict_host else "ok",
+                         evps_verdict if strict_host else "ok"])
+
+        result["status"] = ("regressed" if "regressed" in verdicts
+                            else "improved" if "improved" in verdicts
+                            else "ok")
+        rows.append(result)
+
+    for key in sorted(set(history) - seen):
+        message = f"{key}: present in history, missing from candidate"
+        if allow_missing:
+            advisories.append(message + " [allowed]")
+        else:
+            blocking.append(message)
+        rows.append({"config": key, "status": "missing", "checks": {}})
+
+    report: Dict[str, Any] = {
+        "schema": REGRESS_SCHEMA,
+        "candidate": candidate_path,
+        "history": list(history_paths),
+        "params": {
+            "cycles_rtol": cycles_rtol,
+            "wall_mad_k": wall_mad_k, "wall_rel_floor": wall_rel_floor,
+            "evps_mad_k": evps_mad_k, "evps_rel_floor": evps_rel_floor,
+            "strict_host": strict_host,
+            "allow_missing": allow_missing,
+        },
+        "rows": rows,
+        "regressions": blocking,
+        "advisories": advisories,
+    }
+    if telemetry_tax is not None:
+        report["telemetry_tax"] = dict(telemetry_tax,
+                                       limit=tax_limit)
+        if telemetry_tax.get("overhead", 0.0) > tax_limit:
+            blocking.append(
+                f"telemetry tax "
+                f"{100 * telemetry_tax['overhead']:.2f}% exceeds the "
+                f"{100 * tax_limit:.0f}% budget")
+    report["ok"] = not blocking
+    report["exit_code"] = 0 if not blocking else 1
+    return report
+
+
+def format_regressions(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a ``repro-regress/1`` report."""
+    if report.get("error"):
+        return f"regress: ERROR: {report['error']}"
+    lines = [f"regress: candidate {report['candidate']} vs "
+             f"{len(report['history'])} archived run(s)"]
+    for row in report["rows"]:
+        checks = row.get("checks", {})
+        cyc = checks.get("execution_cycles")
+        if cyc:
+            lines.append(
+                f"  {row['config']:32s} {row['status']:10s} "
+                f"cycles {cyc['candidate']:>12.0f} "
+                f"({100 * cyc['rel_delta']:+.2f}% vs median of "
+                f"{cyc['n']})")
+        else:
+            lines.append(f"  {row['config']:32s} {row['status']}")
+    tax = report.get("telemetry_tax")
+    if tax:
+        lines.append(
+            f"  telemetry tax: {100 * tax.get('overhead', 0.0):+.2f}% "
+            f"(budget {100 * tax.get('limit', 0.0):.0f}%; on "
+            f"{tax.get('on_seconds', 0.0):.3f}s vs off "
+            f"{tax.get('off_seconds', 0.0):.3f}s, best of "
+            f"{tax.get('repeats', '?')})")
+    for message in report.get("advisories", []):
+        lines.append(f"  note: {message}")
+    for message in report.get("regressions", []):
+        lines.append(f"  REGRESSION: {message}")
+    lines.append("regress: " + ("OK" if report["ok"]
+                                else "REGRESSIONS DETECTED"))
+    return "\n".join(lines)

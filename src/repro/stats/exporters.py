@@ -48,25 +48,30 @@ _CATEGORY_TRACKS = {
 _STRUCTURAL_KEYS = ("node", "track", "begin", "dur")
 
 
-def trace_to_jsonl(tracer) -> str:
+def trace_to_jsonl(tracer, **meta_extra) -> str:
     """Render the tracer's events as one JSON object per line.
 
     A trailing ``"_meta"`` record carries the recorded/dropped counts so
     a loaded file can report whether the trace is complete; loaders
-    filter it out of the event stream.
+    filter it out of the event stream.  ``meta_extra`` keys land in the
+    meta record -- e.g. ``aborted="ValueError: ..."`` when flushing the
+    partial trace of a run that died, which keeps the file well-formed
+    instead of truncated.
     """
     lines = []
     for event in tracer.events:
         doc = {"t": event.time, "cat": event.category}
         doc.update(event.payload)
         lines.append(json.dumps(doc, default=str))
-    lines.append(json.dumps({"cat": "_meta", "events": len(tracer.events),
-                             "dropped": tracer.dropped,
-                             "clock": f"{CYCLE_NS:g} ns/cycle"}))
+    meta = {"cat": "_meta", "events": len(tracer.events),
+            "dropped": tracer.dropped,
+            "clock": f"{CYCLE_NS:g} ns/cycle"}
+    meta.update(meta_extra)
+    lines.append(json.dumps(meta, default=str))
     return "\n".join(lines) + "\n"
 
 
-def trace_to_chrome(tracer) -> Dict[str, Any]:
+def trace_to_chrome(tracer, **meta_extra) -> Dict[str, Any]:
     """Render the tracer's events as a Chrome trace-event document."""
     trace_events: List[Dict[str, Any]] = []
     seen_tracks = set()
@@ -103,21 +108,25 @@ def trace_to_chrome(tracer) -> Dict[str, Any]:
         meta.append({"ph": "M", "pid": pid, "tid": tid,
                      "name": "thread_name",
                      "args": {"name": _TRACK_NAMES.get(tid, "cpu")}})
+    other = {"dropped_events": tracer.dropped,
+             "clock": f"{CYCLE_NS:g} ns/cycle"}
+    other.update(meta_extra)
     return {"traceEvents": meta + trace_events,
             "displayTimeUnit": "ns",
-            "otherData": {"dropped_events": tracer.dropped,
-                          "clock": f"{CYCLE_NS:g} ns/cycle"}}
+            "otherData": other}
 
 
-def write_trace(tracer, path: str) -> None:
+def write_trace(tracer, path: str, **meta_extra) -> None:
     """Write the trace to ``path``: JSONL for ``.jsonl``, Chrome JSON
-    otherwise."""
+    otherwise.  ``meta_extra`` lands in the ``_meta`` record (JSONL) or
+    ``otherData`` (Chrome) -- used to mark partial traces of aborted
+    runs."""
     if path.endswith(".jsonl"):
         with open(path, "w") as fh:
-            fh.write(trace_to_jsonl(tracer))
+            fh.write(trace_to_jsonl(tracer, **meta_extra))
     else:
         with open(path, "w") as fh:
-            json.dump(trace_to_chrome(tracer), fh)
+            json.dump(trace_to_chrome(tracer, **meta_extra), fh)
 
 
 def load_trace_file(path: str) -> List[Dict[str, Any]]:
@@ -163,11 +172,15 @@ def load_trace_meta(path: str) -> Dict[str, Any]:
     if isinstance(doc, dict):
         other = doc.get("otherData", {})
         if "dropped_events" in other:
-            return {"cat": "_meta",
+            meta = {"cat": "_meta",
                     "events": sum(1 for e in doc.get("traceEvents", [])
                                   if e.get("ph") != "M"),
                     "dropped": other["dropped_events"],
                     "clock": other.get("clock")}
+            for key, value in other.items():
+                if key not in ("dropped_events", "clock"):
+                    meta[key] = value
+            return meta
     return {}
 
 

@@ -195,9 +195,14 @@ class RunReport:
 
 # Schemas `repro validate` accepts.  Version 1 run reports (pre-causal)
 # remain readable; repro-bench/1 is the benchmark-regression archive;
-# repro-chaos/1 is the fault-sweep report `repro chaos` writes.
+# repro-chaos/1 is the fault-sweep report `repro chaos` writes;
+# repro-diff/1 is the cross-run differential document (`repro diff`);
+# repro-regress/1 the regression-gate verdict (`repro regress`).
+# (The repro-sweep-log/1 JSONL stream is validated by its own reader,
+# repro.harness.telemetry.read_sweep_log -- it is not a JSON document.)
 KNOWN_SCHEMAS = ("repro-run-report/1", "repro-run-report/2",
-                 "repro-bench/1", "repro-chaos/1")
+                 "repro-bench/1", "repro-chaos/1", "repro-diff/1",
+                 "repro-regress/1")
 
 # Top-level keys that must be present per schema.
 _REQUIRED_KEYS = {
@@ -205,6 +210,8 @@ _REQUIRED_KEYS = {
     "repro-run-report/2": ("run",),
     "repro-bench/1": ("generated_by", "runs"),
     "repro-chaos/1": ("spec", "rows", "survived", "ok"),
+    "repro-diff/1": ("a", "b", "execution_cycles", "identical"),
+    "repro-regress/1": ("rows", "ok", "exit_code"),
 }
 
 
@@ -268,6 +275,19 @@ def validate_report(doc) -> List[str]:
                         if key not in entry:
                             problems.append(
                                 f"runs[{i}] missing key {key!r}")
+    elif schema == "repro-diff/1":
+        for side in ("a", "b"):
+            if side in doc and not isinstance(doc[side], dict):
+                problems.append(f"{side!r} must be an object")
+        if "execution_cycles" in doc \
+                and not isinstance(doc["execution_cycles"], dict):
+            problems.append("'execution_cycles' must be an object")
+    elif schema == "repro-regress/1":
+        if "rows" in doc and not isinstance(doc["rows"], list):
+            problems.append("'rows' must be a list")
+        if "error" not in doc and "candidate" not in doc:
+            problems.append("missing 'candidate' (or 'error' for an "
+                            "unusable-input verdict)")
     return problems
 
 

@@ -1,0 +1,65 @@
+"""The committed benchmark-archive contract.
+
+``benchmarks/regression.py`` names a default archive; a committed copy
+of that archive must exist at the repo root, because the regression
+gate (``repro regress``) diffs candidates against the committed
+history.  These tests make the PR 5 gap -- CI writing an archive that
+never landed in the tree -- a loud failure instead of a silent drift."""
+
+import glob
+import json
+import os
+
+from benchmarks.regression import (
+    DEFAULT_OUT,
+    check_committed_archive,
+    committed_archive_path,
+)
+from repro.stats.baseline import check_regressions, row_key
+from repro.stats.report import validate_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_default_archive_is_committed_and_valid():
+    problems = check_committed_archive()
+    assert problems == [], "\n".join(problems)
+    assert os.path.basename(committed_archive_path()) == DEFAULT_OUT
+
+
+def test_every_committed_archive_validates():
+    paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    assert len(paths) >= 3, \
+        "expected the BENCH_pr4/pr5/pr6 trajectory at the repo root"
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_report(doc) == [], path
+        assert doc["schema"] == "repro-bench/1"
+
+
+def test_committed_history_is_internally_consistent():
+    """The committed trajectory must pass its own regression gate.
+
+    Simulated cycles are deterministic, so any committed archive
+    checked against the full committed history must come back clean --
+    if this fails, someone committed an archive from diverged code.
+    """
+    paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    report = check_regressions(committed_archive_path(), paths,
+                               allow_missing=True)
+    assert report["ok"], "\n".join(report["regressions"])
+
+
+def test_default_archive_pins_fault_overhead_row():
+    with open(committed_archive_path()) as fh:
+        doc = json.load(fh)
+    by_key = {row_key(row): row for row in doc["runs"]}
+    faulted = by_key.get("Em3d/TM/I+P+D/faults/4p/quick")
+    assert faulted is not None, \
+        "default archive must carry the fault-overhead row"
+    assert faulted["faulted"] is True
+    assert faulted["fault_seed"] == 7
+    # The pinned chaos overhead: +14.7% Em3d I+P+D (seed 7).
+    assert abs(faulted["fault_overhead"] - 0.147) < 0.002

@@ -192,3 +192,144 @@ def test_bench_command_writes_valid_archive(tmp_path, capsys):
     assert main(["bench", "--procs", "2", "--jobs", "1"]) == 0
     rerun = capsys.readouterr().out
     assert "[cached]" in rerun and "[simulated]" not in rerun
+
+
+def test_figure_sweep_log_and_watch_flags(tmp_path, capsys):
+    from repro.harness.telemetry import read_sweep_log, sweep_log_summary
+
+    log = str(tmp_path / "sweep.jsonl")
+    code = main(["figure", "2", "--quick", "--jobs", "1", "--no-cache",
+                 "--sweep-log", log, "--watch"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Figure 2" in captured.out
+    assert "[watch]" in captured.err  # live lines stream to stderr
+    records = read_sweep_log(log)
+    summary = sweep_log_summary(records)
+    assert summary["closed"] and summary["aborted"] is None
+    assert summary["jobs"] > 0
+    assert records[0]["command"] == "figure"
+
+
+def test_watch_command_replays_and_reports_closure(tmp_path, capsys):
+    from repro.harness.telemetry import SweepLogWriter, TelemetryBus
+
+    log = str(tmp_path / "sweep.jsonl")
+    bus = TelemetryBus()
+    with SweepLogWriter(log, bus=bus):
+        bus.publish("sweep_started", jobs=1, unique=1, workers=1)
+        bus.publish("job_finished", run="Em3d/TM/Base/2p",
+                    wall_seconds=0.2, events_processed=10,
+                    events_per_second=50.0)
+        bus.publish("sweep_finished", misses=1, hits=0, hit_rate=0.0,
+                    batch_seconds=0.2)
+    assert main(["watch", log]) == 0
+    out = capsys.readouterr().out
+    assert "finished Em3d/TM/Base/2p" in out
+    assert "log closed" in out
+
+
+def test_watch_command_flags_aborted_log(tmp_path, capsys):
+    from repro.harness.telemetry import SweepLogWriter, TelemetryBus
+
+    log = str(tmp_path / "sweep.jsonl")
+    bus = TelemetryBus()
+    with pytest.raises(ValueError):
+        with SweepLogWriter(log, bus=bus):
+            raise ValueError("interrupted")
+    assert main(["watch", log]) == 0
+    assert "aborted: ValueError: interrupted" in capsys.readouterr().out
+
+
+def test_diff_command_identical_metrics_files(tmp_path, capsys):
+    a = str(tmp_path / "a.json")
+    b = str(tmp_path / "b.json")
+    for path in (a, b):
+        assert main(["run", "Em3d", "--protocol", "I+P+D", "--procs",
+                     "4", "--quick", "--metrics", path]) == 0
+    capsys.readouterr()
+    out_doc = str(tmp_path / "diff.json")
+    assert main(["diff", a, b, "--json", out_doc]) == 0
+    out = capsys.readouterr().out
+    assert "zero unexplained delta" in out
+    assert main(["validate", out_doc]) == 0
+
+
+def test_diff_command_golden_side(tmp_path, capsys):
+    metrics = str(tmp_path / "m.json")
+    assert main(["run", "Water", "--protocol", "Base", "--procs", "4",
+                 "--quick", "--metrics", metrics]) == 0
+    capsys.readouterr()
+    assert main(["diff", "golden:Water/TM/Base/4p/quick", metrics]) == 0
+    assert "zero unexplained delta" in capsys.readouterr().out
+
+
+def test_diff_command_rejects_archive_without_pick(tmp_path, capsys):
+    import json
+
+    archive = str(tmp_path / "bench.json")
+    with open(archive, "w") as fh:
+        json.dump({"schema": "repro-bench/1", "generated_by": "t",
+                   "runs": [{"app": "Em3d", "protocol": "TM/Base",
+                             "n_procs": 4, "execution_cycles": 1.0,
+                             "fractions": {}}]}, fh)
+    assert main(["diff", archive, archive]) == 2
+    assert "--pick" in capsys.readouterr().err
+    assert main(["diff", archive, archive, "--pick",
+                 "Em3d/TM/Base"]) == 0
+
+
+def test_regress_command_exit_codes(tmp_path, capsys):
+    import json
+
+    def archive(name, cycles):
+        doc = {"schema": "repro-bench/1", "generated_by": "t", "runs": [
+            {"app": "Em3d", "protocol": "TM/Base", "n_procs": 4,
+             "quick": True, "execution_cycles": cycles,
+             "wall_seconds": 0.5, "events_per_second": 100.0,
+             "fractions": {}}]}
+        path = str(tmp_path / name)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return path
+
+    history = archive("h.json", 1000.0)
+    clean = archive("clean.json", 1000.0)
+    slow = archive("slow.json", 1200.0)
+    report = str(tmp_path / "regress.json")
+    assert main(["regress", "--candidate", clean, "--history", history,
+                 "--json", report]) == 0
+    assert "regress: OK" in capsys.readouterr().out
+    assert main(["validate", report]) == 0
+    capsys.readouterr()
+    assert main(["regress", "--candidate", slow,
+                 "--history", history]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    assert main(["regress", "--candidate", str(tmp_path / "nope.json"),
+                 "--history", history]) == 2
+
+
+def test_run_trace_flushed_on_abort(tmp_path, monkeypatch, capsys):
+    import types
+
+    import repro.__main__ as cli
+    from repro.stats.exporters import load_trace_meta
+
+    def doomed_run(app, config, verify=True, trace=False, metrics=False,
+                   faults=None, **kwargs):
+        tracer = trace
+        tracer.sim = types.SimpleNamespace(now=42.0)
+        tracer.enable("fault")
+        tracer.emit("fault", node=1, action="diff-fetch")
+        raise RuntimeError("simulated crash")
+
+    monkeypatch.setattr(cli, "run_app", doomed_run)
+    trace_file = str(tmp_path / "partial.jsonl")
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        cli.main(["run", "Em3d", "--protocol", "Base", "--procs", "2",
+                  "--quick", "--trace", trace_file])
+    err = capsys.readouterr().err
+    assert "partial trace" in err
+    meta = load_trace_meta(trace_file)
+    assert meta["events"] == 1
+    assert meta["aborted"] == "RuntimeError: simulated crash"

@@ -1,0 +1,162 @@
+"""Perf-regression detection over bench archives (``stats/baseline.py``).
+
+Synthetic archives keep these tests fast and exact: the checker's
+verdicts depend only on the archive documents, never on live runs."""
+
+import json
+
+import pytest
+
+from repro.stats.baseline import (
+    REGRESS_SCHEMA,
+    check_regressions,
+    collect_history,
+    fit_band,
+    format_regressions,
+    row_key,
+)
+from repro.stats.report import validate_report
+
+FRACTIONS = {"busy": 0.5, "data": 0.2, "synch": 0.2, "ipc": 0.05,
+             "others": 0.05}
+
+
+def _row(app="Em3d", protocol="TM/Base", cycles=1000.0, wall=0.5,
+         evps=2000.0, **extra):
+    row = {"app": app, "protocol": protocol, "n_procs": 4, "quick": True,
+           "execution_cycles": cycles, "wall_seconds": wall,
+           "events_processed": int(evps * wall),
+           "events_per_second": evps, "cached": False,
+           "fractions": dict(FRACTIONS), "diff_fraction": 0.0,
+           "verified": True}
+    row.update(extra)
+    return row
+
+
+def _archive(tmp_path, name, rows):
+    doc = {"schema": "repro-bench/1", "generated_by": "test",
+           "runs": rows}
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_row_key_distinguishes_config_and_sizes():
+    assert row_key(_row()) == "Em3d/TM/Base/4p/quick"
+    assert row_key(_row(quick=False)) == "Em3d/TM/Base/4p/full"
+    assert row_key(_row(protocol="TM/I+P+D/faults")) == \
+        "Em3d/TM/I+P+D/faults/4p/quick"
+
+
+def test_fit_band_median_and_mad():
+    band = fit_band([1.0, 1.1, 0.9, 1.05, 5.0], mad_k=5.0,
+                    rel_floor=0.0)
+    assert band["center"] == pytest.approx(1.05)
+    assert band["mad"] == pytest.approx(0.05)
+    assert band["hi"] == pytest.approx(1.30)
+    # the floor keeps a zero-MAD band from degenerating to a point
+    tight = fit_band([2.0, 2.0, 2.0], mad_k=5.0, rel_floor=0.25)
+    assert tight["lo"] == pytest.approx(1.5)
+    assert tight["hi"] == pytest.approx(2.5)
+
+
+def test_identical_archive_is_clean(tmp_path):
+    path = _archive(tmp_path, "a.json", [_row(), _row(app="Water")])
+    report = check_regressions(path, [path])
+    assert report["ok"] is True and report["exit_code"] == 0
+    assert all(r["status"] == "ok" for r in report["rows"])
+    assert "OK" in format_regressions(report)
+    assert report["schema"] == REGRESS_SCHEMA
+    assert validate_report(report) == []
+
+
+def test_cycle_inflation_blocks(tmp_path):
+    history = _archive(tmp_path, "h.json", [_row(cycles=1000.0)])
+    candidate = _archive(tmp_path, "c.json", [_row(cycles=1010.0)])
+    report = check_regressions(candidate, [history])
+    assert report["ok"] is False and report["exit_code"] == 1
+    assert any("execution_cycles" in m for m in report["regressions"])
+    assert "REGRESSIONS DETECTED" in format_regressions(report)
+
+
+def test_cycle_improvement_is_advisory(tmp_path):
+    history = _archive(tmp_path, "h.json", [_row(cycles=1000.0)])
+    candidate = _archive(tmp_path, "c.json", [_row(cycles=900.0)])
+    report = check_regressions(candidate, [history])
+    assert report["ok"] is True
+    assert report["rows"][0]["status"] == "improved"
+    assert any("re-record" in a for a in report["advisories"])
+
+
+def test_wall_noise_is_advisory_unless_strict(tmp_path):
+    history = _archive(tmp_path, "h.json", [_row(wall=0.5)])
+    candidate = _archive(tmp_path, "c.json", [_row(wall=5.0)])
+    advisory = check_regressions(candidate, [history])
+    assert advisory["ok"] is True
+    assert any("wall_seconds" in a and "advisory" in a
+               for a in advisory["advisories"])
+    strict = check_regressions(candidate, [history], strict_host=True)
+    assert strict["ok"] is False
+    assert any("wall_seconds" in m for m in strict["regressions"])
+
+
+def test_missing_config_blocks_unless_allowed(tmp_path):
+    history = _archive(tmp_path, "h.json",
+                       [_row(), _row(app="Water")])
+    candidate = _archive(tmp_path, "c.json", [_row()])
+    blocked = check_regressions(candidate, [history])
+    assert blocked["ok"] is False
+    assert any("missing from candidate" in m
+               for m in blocked["regressions"])
+    allowed = check_regressions(candidate, [history], allow_missing=True)
+    assert allowed["ok"] is True
+
+
+def test_new_config_is_advisory(tmp_path):
+    history = _archive(tmp_path, "h.json", [_row()])
+    candidate = _archive(tmp_path, "c.json",
+                         [_row(), _row(app="Water")])
+    report = check_regressions(candidate, [history])
+    assert report["ok"] is True
+    assert any(r["status"] == "new" for r in report["rows"])
+
+
+def test_history_median_tolerates_one_outlier(tmp_path):
+    # Three archives, one recorded on broken code: the median keeps the
+    # gate anchored to the healthy value.
+    h1 = _archive(tmp_path, "h1.json", [_row(cycles=1000.0)])
+    h2 = _archive(tmp_path, "h2.json", [_row(cycles=1000.0)])
+    h3 = _archive(tmp_path, "h3.json", [_row(cycles=1500.0)])
+    candidate = _archive(tmp_path, "c.json", [_row(cycles=1000.0)])
+    report = check_regressions(candidate, [h1, h2, h3])
+    assert report["ok"] is True
+    grouped = collect_history([h1, h2, h3])
+    assert len(grouped["Em3d/TM/Base/4p/quick"]) == 3
+
+
+def test_unusable_input_exits_2(tmp_path):
+    missing = check_regressions(str(tmp_path / "nope.json"), [])
+    assert missing["exit_code"] == 2 and "ERROR" in \
+        format_regressions(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "repro-chaos/1"}')
+    wrong = check_regressions(str(bad), [str(bad)])
+    assert wrong["exit_code"] == 2
+
+
+def test_telemetry_tax_over_budget_blocks(tmp_path):
+    path = _archive(tmp_path, "a.json", [_row()])
+    over = check_regressions(path, [path],
+                             telemetry_tax={"overhead": 0.12,
+                                            "on_seconds": 1.12,
+                                            "off_seconds": 1.0,
+                                            "repeats": 3})
+    assert over["ok"] is False
+    assert any("telemetry tax" in m for m in over["regressions"])
+    under = check_regressions(path, [path],
+                              telemetry_tax={"overhead": 0.02,
+                                             "on_seconds": 1.02,
+                                             "off_seconds": 1.0,
+                                             "repeats": 3})
+    assert under["ok"] is True
+    assert "telemetry tax" in format_regressions(under)

@@ -1,0 +1,135 @@
+"""Cross-run differential analysis (``stats/diff.py``).
+
+The acceptance bar: identical-seed runs diff to *zero unexplained
+delta*, and a baseline-vs-faulted diff attributes the overhead to named
+categories with residual below 0.5% of the baseline."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.harness.experiments import scaled_app
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.stats.diff import (
+    DIFF_SCHEMA,
+    diff_runs,
+    format_diff,
+    golden_doc,
+    load_run_doc,
+)
+from repro.stats.report import RunReport, validate_report
+
+FIXTURE = str(pathlib.Path(__file__).parent.parent / "fixtures"
+              / "golden_cycles.json")
+
+
+def _report_doc(app="Em3d", protocol="I+P+D", procs=4, faults=None):
+    config = ProtocolConfig.treadmarks(protocol)
+    result = run_app(scaled_app(app, procs, quick=True), config,
+                     metrics=True, faults=faults)
+    return RunReport(result).to_json()
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    return _report_doc()
+
+
+@pytest.fixture(scope="module")
+def faulted_doc():
+    return _report_doc(faults=FaultPlan(seed=7, spec=FaultSpec.chaos()))
+
+
+def test_identical_runs_diff_to_zero(baseline_doc):
+    doc = diff_runs(load_run_doc(baseline_doc, label="a"),
+                    load_run_doc(baseline_doc, label="b"))
+    assert doc["schema"] == DIFF_SCHEMA
+    assert doc["identical"] is True
+    assert doc["unexplained_cycles"] == 0
+    assert doc["execution_cycles"]["delta"] == 0
+    assert "zero unexplained delta" in format_diff(doc)
+    assert validate_report(doc) == []
+
+
+def test_live_run_matches_golden_fixture(baseline_doc):
+    golden = golden_doc("Em3d/TM/I+P+D/4p/quick", fixture_path=FIXTURE)
+    doc = diff_runs(golden, load_run_doc(baseline_doc, label="live"))
+    assert doc["identical"] is True
+    assert doc["unexplained_cycles"] == 0
+
+
+def test_faulted_diff_attributes_overhead(baseline_doc, faulted_doc):
+    doc = diff_runs(load_run_doc(baseline_doc, label="clean"),
+                    load_run_doc(faulted_doc, label="faulted"))
+    assert doc["identical"] is False
+    total = doc["execution_cycles"]
+    overhead = total["delta"] / total["a"]
+    # The pinned fault-overhead row: Em3d I+P+D, seed 7, +14.7%.
+    assert overhead == pytest.approx(0.147, abs=0.002)
+    attribution = doc["attribution"]
+    # Attribution runs over the merged per-processor breakdown (every
+    # processor cycle charged exactly once), so the category deltas
+    # explain the whole charged-cycle delta: residual < 0.5% of the
+    # baseline (arithmetically zero unless the documents disagree).
+    charged = attribution["total"]
+    assert abs(attribution["residual"]) < 0.005 * charged["a"]
+    category_sum = sum(c["delta"] for c in attribution["categories"])
+    assert category_sum == pytest.approx(charged["delta"], abs=1e-6)
+    names = {c["name"] for c in attribution["categories"]}
+    assert {"busy", "data", "synch", "ipc", "others"} <= names
+
+
+def test_faulted_diff_names_detail_mechanisms(baseline_doc, faulted_doc):
+    doc = diff_runs(load_run_doc(baseline_doc, label="clean"),
+                    load_run_doc(faulted_doc, label="faulted"))
+    detail_names = {row["name"] for row in doc.get("detail", [])}
+    # Seeded chaos faults must surface their mechanisms by name.
+    assert any("controller" in name for name in detail_names)
+    text = format_diff(doc)
+    assert "faulted" in text and "%" in text
+
+
+def test_bench_archive_is_rejected_with_guidance(tmp_path):
+    archive = {"schema": "repro-bench/1", "generated_by": "x",
+               "runs": [{"app": "Em3d", "protocol": "TM/Base",
+                         "execution_cycles": 1.0, "fractions": {}}]}
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(archive))
+    with pytest.raises(ValueError, match="pick one row"):
+        load_run_doc(str(path))
+
+
+def test_bench_row_diffs_by_fractions(tmp_path):
+    row = {"app": "Em3d", "protocol": "TM/Base", "n_procs": 4,
+           "execution_cycles": 1000.0,
+           "fractions": {"busy": 0.5, "data": 0.2, "synch": 0.2,
+                         "ipc": 0.05, "others": 0.05}}
+    slower = dict(row, execution_cycles=1200.0,
+                  fractions={"busy": 0.45, "data": 0.3, "synch": 0.15,
+                             "ipc": 0.05, "others": 0.05})
+    doc = diff_runs(load_run_doc(row, label="a"),
+                    load_run_doc(slower, label="b"))
+    assert doc["identical"] is False
+    assert doc["execution_cycles"]["delta"] == pytest.approx(200.0)
+    # Bench rows carry only category *fractions*, so the attribution
+    # falls back to the fraction basis and says so.
+    attribution = doc["attribution"]
+    assert "fraction" in attribution["basis"]
+    categories = {c["name"]: c for c in attribution["categories"]}
+    assert categories["data"]["delta"] == pytest.approx(0.1)
+    assert categories["busy"]["delta"] == pytest.approx(-0.05)
+
+
+def test_golden_doc_unknown_key_lists_known():
+    with pytest.raises(KeyError, match="known:"):
+        golden_doc("Nope/TM/Base/4p/quick", fixture_path=FIXTURE)
+
+
+def test_mismatched_configs_are_reported():
+    a = golden_doc("Em3d/TM/Base/4p/quick", fixture_path=FIXTURE)
+    b = golden_doc("Water/TM/Base/4p/quick", fixture_path=FIXTURE)
+    doc = diff_runs(a, b)
+    assert doc["aligned"] is False
+    assert any("app" in m for m in doc["mismatches"])
