@@ -7,7 +7,9 @@ Commands
     Simulate one application under one protocol and print its report.
     ``--trace FILE`` writes a Perfetto-loadable Chrome trace (or JSONL
     when FILE ends in ``.jsonl``); ``--metrics FILE`` writes the
-    machine-readable JSON run report (metrics registry + time series).
+    machine-readable JSON run report (metrics registry + time series);
+    ``--audit`` attaches the coherence-state sanitizer (exits nonzero
+    on any protocol-invariant violation).
 
 ``figure N``
     Regenerate one of the paper's figures (1, 2, 5-11, 13-16; 12 is an
@@ -40,11 +42,22 @@ Commands
     flamegraph.pl / speedscope; ``--json FILE`` writes the analysis as
     JSON; ``--trace FILE`` also saves the raw trace.
 
+``inspect APP|FILE``
+    Per-page coherence introspection: run one application with the
+    audit stream attached (or load a saved ``repro-inspect/1`` JSON)
+    and print the sanitizer verdict, a top-pages cost ranking, ASCII
+    state timelines aligned to barrier intervals (``--timeline``,
+    ``--page P``), and ``--json FILE`` to save the document.
+    ``--diff A B`` instead diffs two runs' per-page transition counts
+    (seed-identical runs report zero delta).  Exits nonzero on
+    sanitizer violations.
+
 ``chaos``
     Sweep fault seeds over an app x protocol matrix: each faulted run
-    must terminate, pass verification, and finish with the same shared
-    memory as its fault-free baseline.  ``--report FILE`` writes the
-    ``repro-chaos/1`` JSON report; exits nonzero on any failure.
+    must terminate, pass verification, finish with the same shared
+    memory as its fault-free baseline, and sustain zero coherence-audit
+    violations.  ``--report FILE`` writes the ``repro-chaos/1`` JSON
+    report; exits nonzero on any failure.
 
 ``watch FILE``
     Render a sweep log (``repro-sweep-log/1`` JSONL, written by
@@ -87,6 +100,10 @@ Examples::
     python -m repro run Em3d --protocol I+D --quick \\
         --trace /tmp/em3d.json --metrics /tmp/em3d-metrics.json
     python -m repro analyze Em3d --protocol I+P+D --quick --procs 4
+    python -m repro run Em3d --protocol I+P+D --quick --procs 4 --audit
+    python -m repro inspect Em3d --protocol I+P+D --quick --procs 4 \\
+        --top-pages 5 --timeline --json inspect.json
+    python -m repro inspect --diff inspect-a.json inspect-b.json
     python -m repro profile Em3d --protocol I+P+D --quick --procs 4
     python -m repro figure 1 --quick
     python -m repro figure 13 --quick --jobs 4
@@ -213,6 +230,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-seed", type=int, default=None,
                        help="fault seed; with no --faults file, uses "
                             "the default chaos spec")
+    run_p.add_argument("--audit", action="store_true",
+                       help="attach the coherence-state sanitizer; "
+                            "prints the audit summary and exits "
+                            "nonzero on any invariant violation")
     _add_sweep_flags(run_p, default_jobs=1)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -286,6 +307,42 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the analysis as JSON to FILE")
     an_p.add_argument("--trace", metavar="FILE", default=None,
                       help="also save the raw trace to FILE")
+
+    ins_p = sub.add_parser(
+        "inspect",
+        help="per-page coherence introspection: audit stream, "
+             "sanitizer verdict, timelines, cross-run diff")
+    ins_p.add_argument("source", nargs="?", default=None,
+                       help="application to run with auditing, or a "
+                            "saved repro-inspect/1 JSON file")
+    ins_p.add_argument("--protocol", default="I+P+D",
+                       help="an overlap mode (Base, I, I+D, P, I+P, "
+                            "I+P+D) or 'aurc' (default: I+P+D)")
+    ins_p.add_argument("--prefetch", action="store_true",
+                       help="AURC only: enable page prefetching")
+    ins_p.add_argument("--procs", type=int, default=4)
+    ins_p.add_argument("--quick", action="store_true",
+                       help="reduced problem size")
+    ins_p.add_argument("--page", type=int, default=None,
+                       help="detail view for one page (counts, "
+                            "timeline, recent transitions)")
+    ins_p.add_argument("--top-pages", type=int, default=10,
+                       metavar="N",
+                       help="rows in the top-pages cost ranking "
+                            "(default: 10)")
+    ins_p.add_argument("--timeline", action="store_true",
+                       help="print ASCII state timelines for the "
+                            "busiest pages (columns are barrier "
+                            "intervals)")
+    ins_p.add_argument("--json", metavar="FILE", default=None,
+                       help="write the repro-inspect/1 document "
+                            "to FILE")
+    ins_p.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                       default=None,
+                       help="diff two runs' per-page transition "
+                            "counts; each side is an app name (run "
+                            "with the flags above) or a saved "
+                            "repro-inspect/1 JSON")
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -416,11 +473,14 @@ def _cmd_run(args) -> int:
     else:
         config = ProtocolConfig.treadmarks(args.protocol)
     plan = _load_fault_plan(args)
-    if args.trace is None and args.metrics is None and plan is None:
+    if args.trace is None and args.metrics is None and plan is None \
+            and not args.audit:
         # No observability or faults requested: route through the sweep
         # layer so repeat invocations are served from the result cache.
         # (Faulted runs never touch the cache -- they must not be
-        # served from, or poison, their fault-free twin's entry.)
+        # served from, or poison, their fault-free twin's entry.
+        # Audited runs bypass the cache too: the auditor lives on the
+        # in-process simulator, which a cache hit never builds.)
         runner = _make_runner(args)
         result = runner.run(SimRequest.for_app(
             args.app, args.procs, config, quick=args.quick,
@@ -448,7 +508,7 @@ def _cmd_run(args) -> int:
         result = run_app(app, config, verify=not args.no_verify,
                          trace=tracer if tracer is not None else False,
                          metrics=args.metrics is not None,
-                         faults=plan)
+                         faults=plan, audit=args.audit)
     except BaseException as exc:
         if tracer is not None and (tracer.events or tracer.dropped):
             write_trace(tracer, args.trace,
@@ -473,6 +533,13 @@ def _cmd_run(args) -> int:
         with open(args.metrics, "w") as fh:
             json.dump(report.to_json(), fh)
         print(f"metrics report -> {args.metrics}")
+    if args.audit:
+        print()
+        print(result.audit.format_summary())
+        if not result.audit.ok:
+            print("AUDIT FAILURE: coherence-invariant violations "
+                  "detected", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -543,7 +610,7 @@ def _cmd_analyze(args) -> int:
     tracer = Tracer(None, limit=2_000_000)
     try:
         result = run_app(app, config, verify=False, trace=tracer,
-                         metrics=True)
+                         metrics=True, audit=True)
     except BaseException as exc:
         # Flush what we recorded before the run died -- a partial trace
         # with a valid _meta beats a missing file when debugging.
@@ -575,6 +642,99 @@ def _cmd_analyze(args) -> int:
         write_trace(result.tracer, args.trace)
         print(f"trace: {len(result.tracer.events)} events "
               f"({result.tracer.dropped} dropped) -> {args.trace}")
+    return 0
+
+
+def _inspect_doc_for(spec, args):
+    """``repro inspect`` source -> repro-inspect/1 document.
+
+    An app name runs an audited simulation with the command's protocol
+    flags; anything else is read as a saved repro-inspect/1 JSON file.
+    """
+    from repro.stats.coherence import INSPECT_SCHEMA, build_inspect_doc
+
+    if spec in experiments.APP_ORDER:
+        if args.protocol.lower() == "aurc":
+            config = ProtocolConfig.aurc(prefetch=args.prefetch)
+        else:
+            config = ProtocolConfig.treadmarks(args.protocol)
+        app = experiments.scaled_app(spec, args.procs,
+                                     quick=args.quick)
+        result = run_app(app, config, audit=True)
+        return build_inspect_doc(result, result.audit)
+    with open(spec) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != INSPECT_SCHEMA:
+        raise ValueError(
+            f"{spec}: schema {doc.get('schema')!r}, expected "
+            f"{INSPECT_SCHEMA} (write one with "
+            f"'repro inspect APP --json FILE')")
+    return doc
+
+
+def _cmd_inspect(args) -> int:
+    from repro.stats.coherence import (
+        diff_inspect_docs,
+        format_inspect_diff,
+        format_page,
+        format_timeline,
+        format_top_pages,
+    )
+
+    if args.diff is not None:
+        try:
+            doc_a = _inspect_doc_for(args.diff[0], args)
+            doc_b = _inspect_doc_for(args.diff[1], args)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_inspect_docs(doc_a, doc_b)
+        print(format_inspect_diff(diff))
+        if args.json is not None:
+            with open(args.json, "w") as fh:
+                json.dump(diff, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"inspect diff -> {args.json}")
+        return 0
+    if args.source is None:
+        print("error: inspect needs an APP (or a saved "
+              "repro-inspect/1 JSON), or --diff A B", file=sys.stderr)
+        return 2
+    try:
+        doc = _inspect_doc_for(args.source, args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = doc.get("run", {})
+    audit = doc.get("audit", {})
+    violations = audit.get("violations", 0)
+    print(f"{run.get('app')} under {run.get('protocol')} on "
+          f"{run.get('n_procs')} processors: "
+          f"{run.get('execution_cycles', 0) / 1e6:.2f} Mcycles")
+    print(f"coherence audit: {audit.get('events', 0)} events, "
+          f"{violations} violations "
+          f"({'OK' if not violations else 'FAILED'})")
+    print()
+    print(format_top_pages(doc, top=args.top_pages))
+    if args.timeline or args.page is None and violations:
+        print()
+        print(format_timeline(doc, top=min(args.top_pages, 3)))
+    if args.page is not None:
+        print()
+        print(format_page(doc, args.page))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"inspect document -> {args.json}")
+    if violations:
+        for detail in audit.get("violations_detail", ())[:10]:
+            print(f"  violation: {detail.get('check')} page "
+                  f"{detail.get('page')} node {detail.get('node')} "
+                  f"-- {detail.get('detail')}", file=sys.stderr)
+        print("AUDIT FAILURE: coherence-invariant violations "
+              "detected", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -661,15 +821,17 @@ def _cmd_chaos(args) -> int:
                        procs=args.procs, quick=args.quick, spec=spec)
     total = report["total"]
     print(f"survival: {report['survived']}/{total}, "
-          f"memory+verify correct: {report['matched']}/{total}")
+          f"memory+verify correct: {report['matched']}/{total}, "
+          f"audit clean: {report['clean']}/{total}")
     if args.report is not None:
         with open(args.report, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"chaos report -> {args.report}")
     if not report["ok"]:
-        print("CHAOS FAILURE: some faulted runs hung, diverged, or "
-              "failed verification", file=sys.stderr)
+        print("CHAOS FAILURE: some faulted runs hung, diverged, "
+              "failed verification, or violated coherence invariants",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -951,6 +1113,8 @@ def main(argv=None) -> int:
         return _cmd_profile(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command in ("figure", "bench", "chaos"):
         handler = {"figure": _cmd_figure, "bench": _cmd_bench,
                    "chaos": _cmd_chaos}[args.command]

@@ -110,11 +110,15 @@ class AurcPage:
 
     __slots__ = ("page", "words", "frame", "notified", "applied",
                  "pending_stamps", "partner", "referenced",
-                 "prefetch_event", "prefetch_issued_at", "prefetch_ready")
+                 "prefetch_event", "prefetch_issued_at", "prefetch_ready",
+                 "audit")
 
-    def __init__(self, page: int, words: int):
+    def __init__(self, page: int, words: int, audit=None):
         self.page = page
         self.words = words
+        # Coherence-audit adapter (repro.dsm.audit.NodeAudit) or None;
+        # same guarded-emission contract as TmPage.
+        self.audit = audit
         self.frame: Optional[np.ndarray] = None
         self.notified: Dict[int, int] = {}
         self.applied: Dict[int, int] = {}
@@ -148,11 +152,17 @@ class AurcPage:
         if interval_id > self.notified.get(writer, 0):
             self.notified[writer] = interval_id
             self.pending_stamps[writer] = (interval_id, dst, seq)
-        return was_valid and not self.is_valid()
+        newly_invalid = was_valid and not self.is_valid()
+        if self.audit is not None:
+            self.audit.aurc_notice(self.page, writer, interval_id,
+                                   dst, seq, newly_invalid)
+        return newly_invalid
 
     def mark_applied(self, writer: int, through_id: int) -> None:
         if through_id > self.applied.get(writer, 0):
             self.applied[writer] = through_id
+            if self.audit is not None:
+                self.audit.applied_through(self.page, writer, through_id)
 
     def applied_snapshot(self) -> Dict[int, int]:
         return dict(self.applied)
@@ -178,11 +188,13 @@ class NodeAurcState:
         self.pages: Dict[int, AurcPage] = {}
         # page -> (dst, seq): last update stamp of the open interval.
         self.current_writes: Dict[int, Tuple[int, int]] = {}
+        # Coherence-audit adapter (repro.dsm.audit.NodeAudit) or None.
+        self.audit = None
 
     def page(self, page: int, words: int) -> AurcPage:
         state = self.pages.get(page)
         if state is None:
-            state = AurcPage(page, words)
+            state = AurcPage(page, words, audit=self.audit)
             self.pages[page] = state
         return state
 
@@ -205,6 +217,18 @@ class Aurc(DsmProtocol):
         self.directory: Dict[int, _PageDirectory] = {}
         self.locks = LockService(self)
         self.barriers = BarrierService(self)
+        # Coherence auditor (set by attach_audit); None when unaudited.
+        self.audit = None
+
+    def attach_audit(self, auditor) -> None:
+        """Attach a :class:`~repro.dsm.audit.CoherenceAuditor` (same
+        contract as :meth:`TreadMarks.attach_audit`)."""
+        auditor.family = "aurc"
+        self.audit = auditor
+        for st in self.states:
+            st.audit = auditor.node_view(st.pid)
+            for ap in st.pages.values():
+                ap.audit = st.audit
 
     @property
     def name(self) -> str:
@@ -224,6 +248,12 @@ class Aurc(DsmProtocol):
     def page_home(self, page: int) -> int:
         return self.page_manager(page)
 
+    def _audit_dir(self, page: int, entry: "_PageDirectory") -> None:
+        """Guarded directory-consistency emission (mode vs sharers)."""
+        if self.audit is not None:
+            self.audit.aurc_directory(self.page_home(page), page,
+                                      entry.mode, len(entry.sharers))
+
     def _join_sharing(self, pid: int, page: int) -> int:
         """Register ``pid`` as a sharer; returns the fetch authority.
 
@@ -237,18 +267,21 @@ class Aurc(DsmProtocol):
         count = len(entry.sharers)
         if count == 1:
             entry.mode = SOLO
+            self._audit_dir(page, entry)
             return pid  # first toucher: local zero page
         if count >= 2 and not self.pairwise_enabled:
             authority = (previous[0] if entry.mode == SOLO
                          else self.page_home(page))
             if entry.mode != HOME:
                 self._revert_to_home(entry, page)
+            self._audit_dir(page, entry)
             return authority
         if count == 2:
             entry.mode = PAIRWISE
             self.stats.pairwise_formations += 1
             a, b = entry.sharers
             self._pair(a, b, page)
+            self._audit_dir(page, entry)
             return previous[0]
         if (count == 3 and entry.mode == PAIRWISE
                 and not entry.replaced_once):
@@ -259,10 +292,12 @@ class Aurc(DsmProtocol):
             self._unpair(replaced, page)
             a, b = entry.sharers
             self._pair(a, b, page)
+            self._audit_dir(page, entry)
             return a if a != pid else b
         # Fourth (or returning) sharer: revert to write-through-to-home.
         if entry.mode != HOME:
             self._revert_to_home(entry, page)
+        self._audit_dir(page, entry)
         return self.page_home(page)
 
     def _pair(self, a: int, b: int, page: int) -> None:
@@ -466,6 +501,9 @@ class Aurc(DsmProtocol):
                                         pages=pages, vc=st.vc.as_tuple(),
                                         stamps=stamps)
             st.log.add(record)
+            if self.audit is not None:
+                self.audit.vc_advance(pid, pid, new_id, pages,
+                                      st.vc.as_tuple(), stamps=stamps)
             yield self.sim.pooled_timeout(
                 len(pages) * self.params.list_processing_cycles_per_element)
 
@@ -542,6 +580,9 @@ class Aurc(DsmProtocol):
                 elif newly_invalid and ap.has_frame:
                     invalidated.append(ap)
         st.vc.merge(VectorClock(values=vc_tuple))
+        if self.audit is not None:
+            # Covering-acquire point (hb-notice-coverage check).
+            self.audit.sync_merge(pid, st.vc.as_tuple())
         cost = (notices * self.params.list_processing_cycles_per_element
                 + len(invalidated) * self.params.page_state_change_cycles)
         if cost:
@@ -594,6 +635,8 @@ class Aurc(DsmProtocol):
         fault_start = self.sim.now
         sid = self.new_span_id()
         prev_stall = self.set_stall(node.node_id, sid) if sid else 0
+        if ap.audit is not None:
+            ap.audit.fault(ap.page, "access")
         if ap.prefetch_event is not None:
             self.stats.prefetch.late += 1
             note_prefetch(self.sim, node.node_id, "late", ap.page)
@@ -685,6 +728,8 @@ class Aurc(DsmProtocol):
         arrived *after* the request stay pending -- the snapshot may
         predate them -- and trigger a refetch on the next access.
         """
+        if ap.audit is not None:
+            ap.audit.installed(ap.page, dict(reply.versions))
         if self._receives_updates(node.node_id, ap.page) and ap.has_frame:
             # The instant data plane has kept (and may have advanced) our
             # frame since the reply's snapshot -- installing the snapshot
@@ -785,9 +830,9 @@ class Aurc(DsmProtocol):
                 continue
             self.stats.prefetch.issued += 1
             self.stats.prefetch.diff_requests += 1
-            note_prefetch(self.sim, pid, "issue", ap.page,
-                          authority=authority)
             token = self.new_token()
+            note_prefetch(self.sim, pid, "issue", ap.page,
+                          authority=authority, tokens=[token])
             done = self.register_pending(token, None)
             stamps = {writer: seq
                       for writer, (interval, dst, seq) in

@@ -114,6 +114,11 @@ class BarrierService:
         if metrics is not None:
             metrics.observe("barrier_wait_cycles", elapsed,
                             node=node.node_id)
+        audit = self.sim.audit
+        if audit is not None:
+            # Advance this node's timeline interval: coherence events
+            # after this land in the next barrier-delimited column.
+            audit.barrier_done(node.node_id)
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("barrier"):
             tracer.emit("barrier", node=node.node_id, action="wait",
@@ -144,6 +149,9 @@ class BarrierService:
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.inc("barrier_episodes", barrier=msg.barrier)
+        audit = self.sim.audit
+        if audit is not None:
+            audit.barrier_release(self.stats.episodes, self.sim.now)
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("barrier"):
             tracer.emit("barrier", node=node.node_id, action="release",

@@ -151,6 +151,9 @@ class LockService:
         if metrics is not None:
             metrics.inc("lock_acquires", node=node.node_id, cached=cached)
             metrics.observe("lock_acquire_cycles", elapsed, cached=cached)
+        audit = self.sim.audit
+        if audit is not None:
+            audit.lock_acquire(node.node_id, lock, cached)
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("lock"):
             tracer.emit("lock", node=node.node_id, action="acquire",

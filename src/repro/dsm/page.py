@@ -36,12 +36,16 @@ class TmPage:
         "has_twin", "dirty_mask", "last_closed_id", "diff_store",
         "unmaterialized", "referenced", "prefetch_event",
         "prefetch_issued_at", "prefetch_ready", "pf_useless_streak",
-        "copyset",
+        "copyset", "audit",
     )
 
-    def __init__(self, page: int, words: int):
+    def __init__(self, page: int, words: int, audit=None):
         self.page = page
         self.words = words
+        # Coherence-audit adapter (repro.dsm.audit.NodeAudit) or None.
+        # Emissions below guard on it, so an unaudited run pays one
+        # attribute check per transition -- the sim.tracer idiom.
+        self.audit = audit
         self.frame: Optional[np.ndarray] = None
         self.applied: Dict[int, int] = {}
         self.notified: Dict[int, int] = {}
@@ -95,17 +99,25 @@ class TmPage:
         was_valid = self.is_valid()
         if interval_id > self.notified.get(writer, 0):
             self.notified[writer] = interval_id
-        return was_valid and not self.is_valid()
+        newly_invalid = was_valid and not self.is_valid()
+        if self.audit is not None:
+            self.audit.notice(self.page, writer, interval_id,
+                              newly_invalid)
+        return newly_invalid
 
     def mark_applied(self, writer: int, through_id: int) -> None:
         if through_id > self.applied.get(writer, 0):
             self.applied[writer] = through_id
+            if self.audit is not None:
+                self.audit.applied_through(self.page, writer, through_id)
 
     def applied_snapshot(self) -> Dict[int, int]:
         """Watermarks describing this frame's contents (for page copies)."""
         return dict(self.applied)
 
     def adopt_snapshot(self, snapshot: Dict[int, int]) -> None:
+        if self.audit is not None:
+            self.audit.installed(self.page, snapshot)
         for writer, through_id in snapshot.items():
             self.mark_applied(writer, through_id)
 
@@ -117,6 +129,8 @@ class TmPage:
         self.write_active = True
         if self.dirty_mask is None:
             self.dirty_mask = np.zeros(self.words, dtype=bool)
+        if self.audit is not None:
+            self.audit.twin_armed(self.page)
 
     def record_write(self, offset: int, nwords: int,
                      values: np.ndarray) -> None:
@@ -124,6 +138,8 @@ class TmPage:
         frame[offset:offset + nwords] = values
         if self.dirty_mask is not None:
             self.dirty_mask[offset:offset + nwords] = True
+        if self.audit is not None:
+            self.audit.write(self.page, self.write_active)
 
     def dirty_count(self) -> int:
         return int(self.dirty_mask.sum()) if self.dirty_mask is not None else 0
@@ -151,6 +167,10 @@ class TmPage:
         self.last_closed_id = interval_id
         self.diff_store.append(diff)
         self.unmaterialized.append(diff)
+        if self.audit is not None:
+            self.audit.interval_closed(self.page, writer, interval_id)
+            self.audit.diff_created(self.page, writer, diff.from_id,
+                                    diff.to_id)
         self.mark_applied(writer, interval_id)
         return True
 
@@ -162,6 +182,8 @@ class TmPage:
         if fresh:
             self.unmaterialized = [d for d in self.unmaterialized
                                    if d not in fresh]
+            if self.audit is not None:
+                self.audit.materialized(self.page, len(fresh))
         return fresh
 
     def diffs_after(self, after_id: int) -> List[DiffRecord]:
@@ -177,6 +199,10 @@ class TmPage:
         overwrote, so the local value is the causally newest.
         """
         frame = self.ensure_frame()
+        if self.audit is not None:
+            self.audit.diff_applied(self.page, diff.writer,
+                                    diff.from_id, diff.to_id,
+                                    self.applied.get(diff.writer, 0))
         if (diff.dirty_words and self.dirty_mask is not None
                 and self.write_active and self.dirty_mask.any()):
             local_dirty = self.dirty_mask[diff.indices]

@@ -37,8 +37,16 @@ def note_prefetch(sim, node_id: int, action: str, page: int,
     metrics = sim.metrics
     if metrics is not None:
         metrics.inc("prefetch_events", node=node_id, action=action)
+    audit = sim.audit
+    if audit is not None:
+        # The auditor keys useless/useful classification to the request
+        # tokens the issue leg carried, so `repro analyze` and the
+        # paper's useless-prefetch counter agree on the same ids.
+        audit.prefetch(node_id, action, page,
+                       tokens=extra.get("tokens"))
     tracer = sim.tracer
     if tracer is not None and tracer.wants("prefetch"):
+        extra.pop("tokens", None)
         tracer.emit("prefetch", node=node_id, action=action, page=page,
                     **extra)
 

@@ -120,11 +120,14 @@ class NodeTmState:
         self.last_barrier_vc = VectorClock(n)
         self.log = IntervalLog(n)
         self.pages: Dict[int, TmPage] = {}
+        # Coherence-audit adapter (repro.dsm.audit.NodeAudit) handed to
+        # every page this node creates; None when unaudited.
+        self.audit = None
 
     def page(self, page: int, words: int) -> TmPage:
         state = self.pages.get(page)
         if state is None:
-            state = TmPage(page, words)
+            state = TmPage(page, words, audit=self.audit)
             self.pages[page] = state
         return state
 
@@ -167,6 +170,22 @@ class TreadMarks(DsmProtocol):
         # Diff-op time executed on each node's controller (the processor
         # side is tracked by TimeBreakdown.diff_cycles).
         self.controller_diff_cycles = [0.0] * self.n
+        # Coherence auditor (set by attach_audit); None when unaudited.
+        self.audit = None
+
+    def attach_audit(self, auditor) -> None:
+        """Attach a :class:`~repro.dsm.audit.CoherenceAuditor`.
+
+        Hands every node state a per-node adapter, retrofits pages that
+        already exist, and records the protocol family.  Purely
+        observational: no simulator state is touched.
+        """
+        auditor.family = "treadmarks"
+        self.audit = auditor
+        for st in self.states:
+            st.audit = auditor.node_view(st.pid)
+            for tp in st.pages.values():
+                tp.audit = st.audit
 
     @property
     def name(self) -> str:
@@ -308,6 +327,9 @@ class TreadMarks(DsmProtocol):
                                     pages=tuple(sorted(written)),
                                     vc=vc_tuple)
             st.log.add(record)
+            if self.audit is not None:
+                self.audit.vc_advance(pid, pid, new_id,
+                                      record.pages, vc_tuple)
             yield self.sim.pooled_timeout(
                 len(written)
                 * self.params.list_processing_cycles_per_element)
@@ -462,6 +484,11 @@ class TreadMarks(DsmProtocol):
                 if newly_invalid:
                     invalidated.append(tp)
         st.vc.merge(VectorClock(values=vc_tuple))
+        if self.audit is not None:
+            # Covering-acquire point: all notices above are recorded,
+            # so the hb-notice-coverage check must pass for every
+            # interval the merged clock now covers.
+            self.audit.sync_merge(node.node_id, st.vc.as_tuple())
         cost = (notices * self.params.list_processing_cycles_per_element
                 + len(invalidated) * self.params.page_state_change_cycles)
         if cost:
@@ -510,6 +537,8 @@ class TreadMarks(DsmProtocol):
             self.stats.write_faults += 1
         else:
             self.stats.read_faults += 1
+        if tp.audit is not None:
+            tp.audit.fault(tp.page, "write" if write else "read")
         if tp.prefetch_event is not None:
             # A prefetch is in flight: wait for it instead of re-requesting.
             self.stats.prefetch.late += 1
@@ -880,9 +909,11 @@ class TreadMarks(DsmProtocol):
             if not writers:
                 continue
             events = []
+            tokens = []
             gather = _DiffGather(tp, len(writers))
             for writer in writers:
                 token = self.new_token()
+                tokens.append(token)
                 done = self.register_pending(token, gather)
                 request = DiffRequest(requester=node.node_id, page=tp.page,
                                       after_id=tp.applied.get(writer, 0),
@@ -902,7 +933,7 @@ class TreadMarks(DsmProtocol):
                 events.append(done)
             self.stats.prefetch.issued += 1
             note_prefetch(self.sim, node.node_id, "issue", tp.page,
-                          writers=len(writers))
+                          writers=len(writers), tokens=tokens)
             tp.prefetch_event = AllOf(self.sim, events)
             tp.prefetch_issued_at = self.sim.now
             tp.referenced = False

@@ -14,7 +14,12 @@ single-use) and reports, per run:
   when equal within the applications' verification tolerance (1e-6
   relative -- lock-ordered floating-point accumulation, e.g. Water's
   force reduction, legitimately reorders under faults), or ``diverged``;
-* **overhead** -- faulted execution cycles over baseline cycles.
+* **overhead** -- faulted execution cycles over baseline cycles;
+* **violations** -- the coherence-audit sanitizer's finding count:
+  every faulted run carries a :class:`~repro.dsm.audit
+  .CoherenceAuditor`, turning PR 5's "final memory identical" into
+  "every intermediate coherence transition legal".  Any violation
+  fails the sweep.
 
 Chaos runs never touch the result cache: a faulted run must not be
 served from -- or poison -- the cache entry of its fault-free twin.
@@ -99,11 +104,13 @@ def run_chaos(seeds: int = 3,
                     "overhead": None,
                     "error": None,
                     "faults": None,
+                    "violations": None,
                 }
                 try:
                     result = run_app(
                         scaled_app(app_name, procs, quick=quick),
-                        config, faults=plan, snapshot_memory=True)
+                        config, faults=plan, snapshot_memory=True,
+                        audit=True)
                 except Exception as exc:  # hang, protocol error, ...
                     row["error"] = f"{type(exc).__name__}: {exc}"
                 else:
@@ -114,6 +121,7 @@ def run_chaos(seeds: int = 3,
                     row["overhead"] = (result.execution_cycles
                                        / baseline.execution_cycles - 1.0)
                     row["faults"] = result.fault_stats
+                    row["violations"] = result.audit.violation_count
                 rows.append(row)
                 telemetry.publish(
                     "chaos_run", app=app_name, protocol=row["protocol"],
@@ -129,7 +137,8 @@ def run_chaos(seeds: int = 3,
                              f"+{100 * row['overhead']:.1f}% cycles, "
                              f"{injected} faults injected, "
                              f"{row['faults']['retransmits']} "
-                             f"retransmits")
+                             f"retransmits, "
+                             f"{row['violations']} audit violations")
                     else:
                         echo(f"    seed {seed}: FAILED -- "
                              f"{row['error']}")
@@ -137,6 +146,7 @@ def run_chaos(seeds: int = 3,
     matched = sum(1 for row in rows
                   if row["memory"] in ("exact", "close")
                   and row["verified"])
+    clean = sum(1 for row in rows if row["violations"] == 0)
     report = {
         "schema": CHAOS_SCHEMA,
         "spec": spec.to_dict(),
@@ -145,9 +155,11 @@ def run_chaos(seeds: int = 3,
         "total": len(rows),
         "survived": survived,
         "matched": matched,
-        "ok": survived == len(rows) and matched == len(rows),
+        "clean": clean,
+        "ok": (survived == len(rows) and matched == len(rows)
+               and clean == len(rows)),
     }
     telemetry.publish("chaos_finished", total=len(rows),
                       survived=survived, matched=matched,
-                      ok=report["ok"])
+                      clean=clean, ok=report["ok"])
     return report

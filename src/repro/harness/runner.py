@@ -85,6 +85,7 @@ class RunResult:
     wall_seconds: float = 0.0        # host time for the timed region
     fault_stats: object = None       # FaultPlan summary when faults ran
     final_memory: object = None      # ndarray when snapshot_memory=True
+    audit: object = None             # CoherenceAuditor when audit=True
 
     @property
     def merged_breakdown(self) -> TimeBreakdown:
@@ -124,6 +125,11 @@ class RunResult:
             "events_processed": self.events_processed,
             "wall_seconds": self.wall_seconds,
         }
+        if self.audit is not None:
+            doc["audit"] = {
+                "events": self.audit.events,
+                "violations": self.audit.violation_count,
+            }
         if dataclasses.is_dataclass(self.protocol_stats):
             counters = dataclasses.asdict(self.protocol_stats)
             prefetch = counters.pop("prefetch", None)
@@ -189,7 +195,8 @@ def run_app(app, config: ProtocolConfig,
             trace_limit: int = 500_000,
             sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
             faults=None,
-            snapshot_memory: bool = False) -> RunResult:
+            snapshot_memory: bool = False,
+            audit: bool = False) -> RunResult:
     """Simulate ``app`` under ``config``; returns the :class:`RunResult`.
 
     ``app.nprocs`` fixes the processor count; ``params`` (if given) must
@@ -217,6 +224,14 @@ def run_app(app, config: ProtocolConfig,
     the whole shared segment through the DSM on node 0 after the run
     (and after verification) into ``result.final_memory``, so callers
     can compare final shared-memory contents across runs.
+
+    ``audit=True`` attaches a
+    :class:`~repro.dsm.audit.CoherenceAuditor` (``result.audit``): a
+    passive subscriber to per-page protocol state transitions that
+    sanitizes coherence invariants online.  The auditor never consumes
+    simulator RNG or schedules events, so the run stays bit-identical
+    in cycles to an unaudited one; its state digests are frozen at the
+    end of the timed region (before the verify epilogue).
     """
     params = params or MachineParams()
     if params.n_processors != app.nprocs:
@@ -240,6 +255,12 @@ def run_app(app, config: ProtocolConfig,
     segment = SharedSegment(params)
     app.allocate(segment)
     protocol = _build_protocol(config, sim, cluster, params, segment)
+    auditor = None
+    if audit:
+        from repro.dsm.audit import CoherenceAuditor
+        auditor = CoherenceAuditor(sim)
+        sim.audit = auditor
+        protocol.attach_audit(auditor)
     sampler = None
     if metrics:
         sampler = Sampler(sim, sim.metrics, cluster, protocol,
@@ -271,6 +292,12 @@ def run_app(app, config: ProtocolConfig,
                   for pid in range(app.nprocs)]
     if hasattr(protocol, "finalize"):
         protocol.finalize()
+    if auditor is not None:
+        # Freeze the state digests at the end of the timed region:
+        # verify/snapshot epilogues fault pages through the DSM and
+        # would otherwise fold nondeterministic-looking extra
+        # transitions into the golden digests.
+        auditor.freeze()
 
     result = RunResult(
         app_name=app.name,
@@ -291,6 +318,7 @@ def run_app(app, config: ProtocolConfig,
         metrics=sim.metrics,
         events_processed=events_processed,
         wall_seconds=wall_seconds,
+        audit=auditor,
     )
 
     if verify:

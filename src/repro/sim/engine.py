@@ -445,6 +445,12 @@ class Simulator:
         # Any to keep the kernel free of upward imports.
         self.tracer: Optional[Any] = None
         self.metrics: Optional[Any] = None
+        # Coherence-audit attachment point (repro.dsm.audit
+        # .CoherenceAuditor): same contract as tracer/metrics -- pages
+        # and protocols emit typed state-transition events only when
+        # non-None, and the auditor itself is strictly passive (never
+        # consumes sim RNG, never schedules events).
+        self.audit: Optional[Any] = None
 
     # -- event construction helpers --------------------------------------
 

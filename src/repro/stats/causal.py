@@ -90,6 +90,7 @@ class RequestLifecycle:
     lock: Optional[int] = None
     barrier: Optional[int] = None
     prefetch: bool = False
+    useless: bool = False        # audit-classified useless prefetch
     done_at: Optional[float] = None
     legs: SpanLegs = field(default_factory=SpanLegs)
 
@@ -204,6 +205,39 @@ class CausalAnalysis:
         self._svc_by_node: Dict[int, _SpanIndex] = {}
         self._grant_sender: Dict[int, int] = {}
         self._stall_by_sid: Dict[int, Stall] = {}
+        self.prefetch_audit: Optional[Dict[str, int]] = None
+
+    # -- coherence-audit cross-labeling -------------------------------------
+
+    def label_useless_prefetches(self, tokens: Iterable[int]) -> dict:
+        """Mark prefetch lifecycles the coherence auditor classified as
+        useless (fetched, then invalidated before any use).
+
+        The auditor's tokens are the prefetch requests' own request
+        ids, so every token must land on a lifecycle with its
+        ``prefetch`` flag set -- the returned cross-check's
+        ``mismatched`` count is zero on a consistent trace.  Tokens
+        absent from the (horizon-clipped) trace count as ``missing``.
+        """
+        tokens = set(tokens)
+        labeled = missing = mismatched = 0
+        for rid in sorted(tokens):
+            r = self.requests.get(rid)
+            if r is None:
+                missing += 1
+                continue
+            if not r.prefetch:
+                mismatched += 1
+                continue
+            r.useless = True
+            labeled += 1
+        self.prefetch_audit = {
+            "tokens": len(tokens),
+            "labeled": labeled,
+            "missing": missing,
+            "mismatched": mismatched,
+        }
+        return self.prefetch_audit
 
     # -- blame tables -------------------------------------------------------
 
@@ -229,6 +263,22 @@ class CausalAnalysis:
                 counts[stall.lock] += 1
         rows = [(lock, cycles[lock], counts[lock]) for lock in cycles]
         rows.sort(key=lambda r: -r[1])
+        return rows[:top]
+
+    def blame_useless_prefetches(
+            self, top: int = 5) -> List[Tuple[int, float, int]]:
+        """``(page, wasted request cycles, prefetches)`` for prefetch
+        lifecycles the coherence auditor classified useless, most
+        wasteful first.  Empty until
+        :meth:`label_useless_prefetches` has run."""
+        cycles: Dict[int, float] = defaultdict(float)
+        counts: Dict[int, int] = defaultdict(int)
+        for r in self.requests.values():
+            if r.prefetch and r.useless and r.page is not None:
+                cycles[r.page] += r.latency or 0.0
+                counts[r.page] += 1
+        rows = [(page, cycles[page], counts[page]) for page in cycles]
+        rows.sort(key=lambda r: (-r[1], -r[2]))
         return rows[:top]
 
     def blame_peers(self, top: int = 5) -> List[Tuple[int, float, int]]:
@@ -376,7 +426,11 @@ class CausalAnalysis:
                 "pages": [list(r) for r in self.blame_pages(top)],
                 "locks": [list(r) for r in self.blame_locks(top)],
                 "peers": [list(r) for r in self.blame_peers(top)],
+                "useless_prefetches": [
+                    list(r)
+                    for r in self.blame_useless_prefetches(top)],
             },
+            "prefetch_audit": self.prefetch_audit,
             "data_request_legs": self.data_leg_totals(),
         }
 
@@ -428,6 +482,19 @@ class CausalAnalysis:
         for node, cycles, count in self.blame_peers(top):
             lines.append(f"    node {node:>6d}  {cycles / 1e3:>10.1f} "
                          f"Kcycles  {count} incidents")
+        if self.prefetch_audit is not None:
+            pa = self.prefetch_audit
+            lines.append(
+                f"  useless prefetches (coherence-audit classified; "
+                f"{pa['labeled']} labeled, {pa['mismatched']} "
+                f"mismatched):")
+            rows = self.blame_useless_prefetches(top)
+            for page, cycles, count in rows:
+                lines.append(
+                    f"    page {page:>6d}  {cycles / 1e3:>10.1f} "
+                    f"Kcycles  {count} prefetches wasted")
+            if not rows:
+                lines.append("    (none)")
         legs = self.data_leg_totals()
         if legs["requests"]:
             lat = legs["latency"] or 1.0
@@ -735,9 +802,19 @@ def _build_intervals(analysis: CausalAnalysis,
 
 def analyze_run(result, finish_times: Optional[Sequence[float]] = None
                 ) -> CausalAnalysis:
-    """Analyze a :class:`RunResult` produced with ``trace=True``."""
+    """Analyze a :class:`RunResult` produced with ``trace=True``.
+
+    When the run also carried a coherence auditor (``audit=True``),
+    its useless-prefetch classification is cross-labeled onto the
+    prefetch lifecycles (see :meth:`CausalAnalysis
+    .label_useless_prefetches`).
+    """
     tracer = getattr(result, "tracer", None)
     if tracer is None:
         raise ValueError("result has no tracer: run with trace=True")
-    return analyze_events(tracer.events, result.execution_cycles,
-                          finish_times or result.finish_times)
+    analysis = analyze_events(tracer.events, result.execution_cycles,
+                              finish_times or result.finish_times)
+    audit = getattr(result, "audit", None)
+    if audit is not None:
+        analysis.label_useless_prefetches(audit.useless_prefetch_tokens)
+    return analysis

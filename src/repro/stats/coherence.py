@@ -1,0 +1,237 @@
+"""Per-page coherence timeline / heatmap reporting (``repro inspect``).
+
+Consumes a :class:`~repro.dsm.audit.CoherenceAuditor` attached to a run
+(``run_app(..., audit=True)``) and produces:
+
+* the ``repro-inspect/1`` JSON document (registered with
+  ``repro validate``);
+* a top-pages ranking by faults, diffs, notices and useless
+  prefetches -- the paper's per-page cost drivers;
+* ASCII per-page state timelines whose columns are barrier intervals
+  (the paper's unit of progress) and whose glyphs are coherence events
+  (see :data:`~repro.dsm.audit.TIMELINE_BITS`);
+* a cross-run transition-count diff (``repro inspect --diff A B``),
+  aligned the same way :mod:`repro.stats.diff` aligns run reports --
+  seed-identical runs must report zero delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsm.audit import timeline_char
+
+__all__ = ["INSPECT_SCHEMA", "build_inspect_doc", "rank_pages",
+           "format_top_pages", "format_timeline", "format_page",
+           "diff_inspect_docs", "format_inspect_diff"]
+
+INSPECT_SCHEMA = "repro-inspect/1"
+
+#: Ring buffers are embedded for at most this many (busiest) pages.
+_MAX_RING_PAGES = 64
+
+
+def _activity(row: dict) -> Tuple[int, int, int, int]:
+    return (row.get("faults", 0), row.get("diffs_applied", 0),
+            row.get("notices", 0), row.get("useless_prefetches", 0))
+
+
+def rank_pages(doc: dict) -> List[dict]:
+    """Pages of an inspect doc, busiest first (stable on page id)."""
+    return sorted(doc.get("pages", ()),
+                  key=lambda row: (_activity(row), -row["page"]),
+                  reverse=True)
+
+
+def build_inspect_doc(result, auditor) -> dict:
+    """Assemble the ``repro-inspect/1`` document for one audited run."""
+    pages = auditor.page_table()
+    busiest = {row["page"] for row in sorted(
+        pages, key=_activity, reverse=True)[:_MAX_RING_PAGES]}
+    rings: Dict[str, Dict[str, List[str]]] = {}
+    for node in sorted(auditor.nodes):
+        na = auditor.nodes[node]
+        node_rings = {str(page): list(ring)
+                      for page, ring in sorted(na.rings.items())
+                      if page in busiest and ring}
+        if node_rings:
+            rings[str(node)] = node_rings
+    timeline = {
+        "barriers": [[epoch, at]
+                     for epoch, at in auditor.barrier_releases],
+        "nodes": {str(node): {str(page): {str(epoch): bits
+                                          for epoch, bits
+                                          in sorted(cells.items())}
+                              for page, cells in sorted(pages_.items())}
+                  for node, pages_
+                  in sorted(auditor.timeline_data().items())},
+    }
+    return {
+        "schema": INSPECT_SCHEMA,
+        "run": {
+            "app": result.app_name,
+            "protocol": result.protocol_label,
+            "n_procs": result.n_procs,
+            "execution_cycles": result.execution_cycles,
+        },
+        "audit": auditor.summary(),
+        "pages": pages,
+        "rings": rings,
+        "timeline": timeline,
+        "state": {
+            "digest": auditor.final_digest(),
+            "applied_digest": auditor.final_applied_digest(),
+            "pages": len(pages),
+        },
+    }
+
+
+def format_top_pages(doc: dict, top: int = 10) -> str:
+    """Ranked per-page cost table."""
+    run = doc.get("run", {})
+    lines = [
+        f"top pages -- {run.get('app', '?')} under "
+        f"{run.get('protocol', '?')} on {run.get('n_procs', '?')} "
+        f"processors",
+        f"  {'page':>6s} {'faults':>7s} {'notices':>8s} "
+        f"{'diffs+':>7s} {'diffs-':>7s} {'twins':>6s} "
+        f"{'useless pf':>11s}",
+    ]
+    for row in rank_pages(doc)[:top]:
+        lines.append(
+            f"  {row['page']:6d} {row.get('faults', 0):7d} "
+            f"{row.get('notices', 0):8d} "
+            f"{row.get('diffs_applied', 0):7d} "
+            f"{row.get('diffs_created', 0):7d} "
+            f"{row.get('twins', 0):6d} "
+            f"{row.get('useless_prefetches', 0):11d}")
+    if len(lines) == 2:
+        lines.append("  (no page activity recorded)")
+    return "\n".join(lines)
+
+
+def _interval_count(doc: dict) -> int:
+    barriers = doc.get("timeline", {}).get("barriers", [])
+    # Interval k spans barrier k-1's release to barrier k's; there is
+    # always one final interval after the last release.
+    return len(barriers) + 1
+
+
+def format_timeline(doc: dict, page: Optional[int] = None,
+                    top: int = 3, width: int = 64) -> str:
+    """ASCII state timeline, one row per (page, node), columns are
+    barrier intervals.  Glyphs: ``!`` violation, ``D`` diff applied,
+    ``I`` install, ``n`` notice, ``w`` twin armed, ``u`` useless
+    prefetch, ``h`` prefetch hit, ``f`` fault, ``.`` quiet."""
+    nodes = doc.get("timeline", {}).get("nodes", {})
+    intervals = min(_interval_count(doc), width)
+    if page is not None:
+        chosen = [page]
+    else:
+        chosen = [row["page"] for row in rank_pages(doc)[:top]]
+    lines = [f"coherence timeline ({intervals} barrier intervals; "
+             f"legend ! violation, D diff, I install, n notice, "
+             f"w twin, u useless-pf, h pf-hit, f fault)"]
+    for p in chosen:
+        lines.append(f"  page {p}:")
+        any_row = False
+        for node in sorted(nodes, key=int):
+            cells = nodes[node].get(str(p))
+            if cells is None:
+                continue
+            any_row = True
+            row = "".join(
+                timeline_char(cells.get(str(epoch), 0))
+                for epoch in range(intervals))
+            lines.append(f"    node {int(node):2d} |{row}|")
+        if not any_row:
+            lines.append("    (no recorded transitions)")
+    return "\n".join(lines)
+
+
+def format_page(doc: dict, page: int) -> str:
+    """Detail view for one page: counts, timeline, recent transitions."""
+    row = next((r for r in doc.get("pages", ())
+                if r["page"] == page), None)
+    lines = [f"page {page} detail"]
+    if row is None:
+        lines.append("  (page saw no coherence activity in this run)")
+        return "\n".join(lines)
+    lines.append("  transitions: " + ", ".join(
+        f"{kind}={count}" for kind, count
+        in sorted(row.get("transitions", {}).items())))
+    lines.append(format_timeline(doc, page=page))
+    rings = doc.get("rings", {})
+    for node in sorted(rings, key=int):
+        entries = rings[node].get(str(page))
+        if not entries:
+            continue
+        lines.append(f"  node {int(node)} recent transitions:")
+        lines.extend(f"    {entry}" for entry in entries)
+    return "\n".join(lines)
+
+
+def _transition_maps(doc: dict) -> Dict[int, Dict[str, int]]:
+    return {row["page"]: dict(row.get("transitions", {}))
+            for row in doc.get("pages", ())}
+
+
+def diff_inspect_docs(a: dict, b: dict) -> dict:
+    """Diff two inspect docs' per-page transition counts.
+
+    Alignment follows :mod:`repro.stats.diff`: rows are joined on the
+    page id (the stable key), kinds on their names; pages or kinds
+    present on only one side appear with a zero on the other.  Two
+    seed-identical runs must produce ``identical: true`` and an empty
+    ``pages`` list.
+    """
+    ta, tb = _transition_maps(a), _transition_maps(b)
+    rows = []
+    for page in sorted(set(ta) | set(tb)):
+        ka, kb = ta.get(page, {}), tb.get(page, {})
+        deltas = {}
+        for kind in sorted(set(ka) | set(kb)):
+            va, vb = ka.get(kind, 0), kb.get(kind, 0)
+            if va != vb:
+                deltas[kind] = [va, vb]
+        if deltas:
+            rows.append({"page": page, "deltas": deltas})
+    digest_a = a.get("state", {}).get("digest")
+    digest_b = b.get("state", {}).get("digest")
+    return {
+        "a": a.get("run", {}),
+        "b": b.get("run", {}),
+        "pages": rows,
+        "digest": {"a": digest_a, "b": digest_b,
+                   "match": digest_a == digest_b},
+        "violations": {
+            "a": a.get("audit", {}).get("violations", 0),
+            "b": b.get("audit", {}).get("violations", 0),
+        },
+        "identical": not rows and digest_a == digest_b,
+    }
+
+
+def format_inspect_diff(diff: dict) -> str:
+    ra, rb = diff.get("a", {}), diff.get("b", {})
+    lines = [
+        f"inspect diff: {ra.get('app', '?')}/{ra.get('protocol', '?')} "
+        f"vs {rb.get('app', '?')}/{rb.get('protocol', '?')}",
+    ]
+    if diff.get("identical"):
+        lines.append("  per-page transition counts identical "
+                     "(zero delta; state digests match)")
+        return "\n".join(lines)
+    digest = diff.get("digest", {})
+    if not digest.get("match"):
+        lines.append(f"  state digest differs: {digest.get('a')} "
+                     f"vs {digest.get('b')}")
+    for row in diff.get("pages", ())[:20]:
+        parts = ", ".join(f"{kind} {va}->{vb}"
+                          for kind, (va, vb)
+                          in sorted(row["deltas"].items()))
+        lines.append(f"  page {row['page']}: {parts}")
+    remaining = len(diff.get("pages", ())) - 20
+    if remaining > 0:
+        lines.append(f"  ... and {remaining} more pages with deltas")
+    return "\n".join(lines)

@@ -197,12 +197,14 @@ class RunReport:
 # remain readable; repro-bench/1 is the benchmark-regression archive;
 # repro-chaos/1 is the fault-sweep report `repro chaos` writes;
 # repro-diff/1 is the cross-run differential document (`repro diff`);
-# repro-regress/1 the regression-gate verdict (`repro regress`).
+# repro-regress/1 the regression-gate verdict (`repro regress`);
+# repro-inspect/1 the per-page coherence-audit document
+# (`repro inspect`).
 # (The repro-sweep-log/1 JSONL stream is validated by its own reader,
 # repro.harness.telemetry.read_sweep_log -- it is not a JSON document.)
 KNOWN_SCHEMAS = ("repro-run-report/1", "repro-run-report/2",
                  "repro-bench/1", "repro-chaos/1", "repro-diff/1",
-                 "repro-regress/1")
+                 "repro-regress/1", "repro-inspect/1")
 
 # Top-level keys that must be present per schema.
 _REQUIRED_KEYS = {
@@ -212,6 +214,7 @@ _REQUIRED_KEYS = {
     "repro-chaos/1": ("spec", "rows", "survived", "ok"),
     "repro-diff/1": ("a", "b", "execution_cycles", "identical"),
     "repro-regress/1": ("rows", "ok", "exit_code"),
+    "repro-inspect/1": ("run", "pages", "audit", "state"),
 }
 
 
@@ -288,6 +291,33 @@ def validate_report(doc) -> List[str]:
         if "error" not in doc and "candidate" not in doc:
             problems.append("missing 'candidate' (or 'error' for an "
                             "unusable-input verdict)")
+    elif schema == "repro-inspect/1":
+        run = doc.get("run")
+        if run is not None and not isinstance(run, dict):
+            problems.append("'run' must be an object")
+        pages = doc.get("pages")
+        if pages is not None:
+            if not isinstance(pages, list):
+                problems.append("'pages' must be a list")
+            else:
+                for i, entry in enumerate(pages):
+                    if not isinstance(entry, dict) \
+                            or "page" not in entry:
+                        problems.append(
+                            f"pages[{i}] must be an object with "
+                            f"a 'page' key")
+        audit = doc.get("audit")
+        if audit is not None:
+            if not isinstance(audit, dict):
+                problems.append("'audit' must be an object")
+            elif "violations" not in audit:
+                problems.append("'audit' missing 'violations'")
+        state = doc.get("state")
+        if state is not None:
+            if not isinstance(state, dict):
+                problems.append("'state' must be an object")
+            elif "digest" not in state:
+                problems.append("'state' missing 'digest'")
     return problems
 
 

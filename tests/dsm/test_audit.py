@@ -1,0 +1,254 @@
+"""Unit tests for the coherence-state sanitizer (repro.dsm.audit).
+
+Each invariant check is driven with a synthetic event sequence that
+violates it, and the resulting :class:`Violation` must attribute the
+finding -- page, interval, node -- and carry the recent-transition
+ring.  A corrupted transition going *undetected* is the failure mode
+these tests exist to catch.
+"""
+
+import pytest
+
+from repro.dsm.audit import (
+    MAX_VIOLATIONS,
+    RING_DEPTH,
+    CoherenceAuditor,
+    timeline_char,
+)
+
+
+def _auditor():
+    return CoherenceAuditor(sim=None)
+
+
+# -- clean sequences stay clean -------------------------------------------
+
+
+def test_legal_sequence_has_no_violations():
+    audit = _auditor()
+    na = audit.node_view(1)
+    # Writer 0 closes interval 1 over page 7; node 1 gets the notice
+    # first, then merges a clock covering it, then applies the diff.
+    na.notice(7, 0, 1, newly_invalid=True)
+    audit.vc_advance(0, 0, 1, (7,), (1, 0))
+    audit.sync_merge(1, (1, 0))
+    na.diff_applied(7, 0, 0, 1, applied_before=0)
+    na.applied_through(7, 0, 1)
+    assert audit.ok
+    assert audit.violation_count == 0
+    assert audit.checks["hb-notice-coverage"] == 1
+
+
+def test_overlapping_diff_is_legal():
+    audit = _auditor()
+    na = audit.node_view(0)
+    na.diff_applied(3, 1, 0, 2, applied_before=0)
+    # Overlap (re-delivery of already-applied intervals) is legal...
+    na.diff_applied(3, 1, 1, 3, applied_before=2)
+    assert audit.ok
+
+
+# -- each invariant detects its corruption --------------------------------
+
+
+def test_hb_notice_coverage_detects_missing_notice():
+    audit = _auditor()
+    # Writer 2 closes interval 1 covering page 9, but node 0 merges a
+    # clock that covers it WITHOUT ever receiving the write notice.
+    audit.vc_advance(2, 2, 1, (9,), (0, 0, 1))
+    audit.sync_merge(0, (0, 0, 1))
+    assert not audit.ok
+    v = audit.violations[0]
+    assert v.check == "hb-notice-coverage"
+    assert v.page == 9
+    assert v.writer == 2
+    assert v.interval_id == 1
+    assert v.node == 0
+    assert "no write notice" in v.detail
+
+
+def test_hb_notice_coverage_cursor_does_not_recheck():
+    audit = _auditor()
+    audit.node_view(1).notice(4, 0, 1, newly_invalid=False)
+    audit.vc_advance(0, 0, 1, (4,), (1, 0))
+    audit.sync_merge(1, (1, 0))
+    audit.sync_merge(1, (1, 0))  # same clock again: nothing new to check
+    assert audit.ok
+    assert audit.nodes[1].hb_verified[0] == 1
+
+
+def test_diff_order_gap_detected_with_attribution():
+    audit = _auditor()
+    na = audit.node_view(3)
+    na.diff_applied(11, 1, 0, 1, applied_before=0)
+    # Interval 2 never applied; a diff starting at 2 skips it.
+    na.diff_applied(11, 1, 2, 3, applied_before=1)
+    assert audit.violation_count == 1
+    v = audit.violations[0]
+    assert v.check == "diff-order"
+    assert (v.node, v.page, v.writer, v.interval_id) == (3, 11, 1, 3)
+    assert "skipped" in v.detail
+
+
+def test_twin_write_detected():
+    audit = _auditor()
+    na = audit.node_view(2)
+    na.twin_armed(5)
+    na.write(5, armed=True)      # legal: collection armed
+    na.write(5, armed=False)     # illegal: uncollected twin
+    assert audit.violation_count == 1
+    v = audit.violations[0]
+    assert v.check == "twin-write"
+    assert v.page == 5
+    assert v.node == 2
+    # The ring attached to the violation shows the preceding history.
+    assert any("twin armed" in entry for entry in v.recent)
+
+
+def test_aurc_stamp_order_regression_detected():
+    audit = _auditor()
+    audit.vc_advance(0, 0, 1, (6,), (1, 0),
+                     stamps={6: (1, 5)})
+    audit.vc_advance(0, 0, 2, (6,), (2, 0),
+                     stamps={6: (1, 3)})  # seq regresses: 5 -> 3
+    assert audit.violation_count == 1
+    v = audit.violations[0]
+    assert v.check == "aurc-stamp-order"
+    assert v.page == 6
+    assert v.writer == 0
+    assert v.interval_id == 2
+    assert "regresses" in v.detail
+    assert audit.checks["aurc-stamp-order"] == 2
+
+
+def test_aurc_directory_mismatch_detected():
+    audit = _auditor()
+    audit.aurc_directory(0, 8, "solo", sharers=1)       # fine
+    audit.aurc_directory(0, 8, "pairwise", sharers=2)   # fine
+    audit.aurc_directory(0, 8, "home", sharers=7)       # unconstrained
+    assert audit.ok
+    audit.aurc_directory(0, 8, "solo", sharers=2)
+    assert audit.violation_count == 1
+    assert audit.violations[0].check == "aurc-directory"
+
+
+def test_dual_protocol_conflict_detected():
+    audit = _auditor()
+    na = audit.node_view(1)
+    na.twin_armed(4)                         # TreadMarks state...
+    na.aurc_notice(4, 0, 1, 1, 0, False)     # ...then AURC state
+    assert audit.violation_count == 1
+    v = audit.violations[0]
+    assert v.check == "dual-protocol"
+    assert v.page == 4
+
+
+# -- ring buffer, cap, timeline -------------------------------------------
+
+
+def test_ring_holds_last_k_transitions():
+    audit = _auditor()
+    na = audit.node_view(0)
+    for i in range(RING_DEPTH + 10):
+        na.notice(1, 0, i + 1, newly_invalid=False)
+    na.write(1, armed=False)
+    v = audit.violations[0]
+    assert len(v.recent) == RING_DEPTH
+    # Oldest entries fell off; the newest notice is present.
+    assert any(f"i{RING_DEPTH + 10}" in entry for entry in v.recent)
+    assert not any("i1 " in entry for entry in v.recent)
+
+
+def test_violation_records_capped_but_counted():
+    audit = _auditor()
+    na = audit.node_view(0)
+    for _ in range(MAX_VIOLATIONS + 20):
+        na.write(2, armed=False)
+    assert audit.violation_count == MAX_VIOLATIONS + 20
+    assert len(audit.violations) == MAX_VIOLATIONS
+    assert "more violations" in audit.format_summary()
+
+
+def test_timeline_cells_and_glyph_priority():
+    audit = _auditor()
+    na = audit.node_view(0)
+    na.notice(3, 1, 1, newly_invalid=False)
+    audit.barrier_done(0)
+    audit.barrier_release(1, 100)
+    na.diff_applied(3, 1, 0, 1, applied_before=0)
+    cells = na.timeline[3]
+    assert timeline_char(cells[0]) == "n"
+    assert timeline_char(cells[1]) == "D"
+    assert timeline_char(0) == "."
+    # Violations outrank everything else in the same cell.
+    na.write(3, armed=False)
+    assert timeline_char(na.timeline[3][1]) == "!"
+    assert audit.barrier_releases == [(1, 100)]
+
+
+# -- state digests --------------------------------------------------------
+
+
+def test_state_digest_is_deterministic_and_sensitive():
+    def build(extra_applied):
+        audit = _auditor()
+        na = audit.node_view(0)
+        na.notice(1, 1, 1, newly_invalid=False)
+        na.applied_through(1, 1, 1 + extra_applied)
+        return audit
+
+    a, b, c = build(0), build(0), build(1)
+    assert a.state_digest() == b.state_digest()
+    assert a.state_digest() != c.state_digest()
+    assert a.applied_digest() != c.applied_digest()
+
+
+def test_freeze_pins_digests_against_epilogue_events():
+    audit = _auditor()
+    na = audit.node_view(0)
+    na.applied_through(1, 1, 1)
+    audit.freeze()
+    pinned = audit.final_digest()
+    na.applied_through(1, 1, 5)  # post-freeze (epilogue) traffic
+    assert audit.final_digest() == pinned
+    assert audit.state_digest() != pinned
+
+
+# -- prefetch classification ----------------------------------------------
+
+
+def test_prefetch_token_classification():
+    audit = _auditor()
+    audit.prefetch(0, "issue", 5, tokens=[101, 102])
+    audit.prefetch(0, "useless", 5)
+    audit.prefetch(1, "issue", 5, tokens=[103])
+    audit.prefetch(1, "hit", 5)
+    audit.prefetch(2, "issue", 6, tokens=[104])
+    audit.prefetch(2, "late", 6)
+    assert audit.useless_prefetch_tokens == {101, 102}
+    assert audit.useful_prefetch_tokens == {103}
+    assert audit.late_prefetch_tokens == {104}
+    assert (audit.prefetch_issued, audit.prefetch_useful,
+            audit.prefetch_useless, audit.prefetch_late) == (3, 1, 1, 1)
+    summary = audit.summary()
+    assert summary["prefetch"]["useless_tokens"] == [101, 102]
+
+
+def test_summary_and_format_summary_roundtrip():
+    audit = _auditor()
+    audit.node_view(0).write(1, armed=False)
+    summary = audit.summary()
+    assert summary["violations"] == 1
+    assert summary["violations_detail"][0]["check"] == "twin-write"
+    text = audit.format_summary()
+    assert "FAILED" in text and "twin-write" in text
+    assert "page 1 on node 0" in text
+
+
+@pytest.mark.parametrize("kind", ["read", "write", "access"])
+def test_fault_kinds_counted_in_page_table(kind):
+    audit = _auditor()
+    audit.node_view(0).fault(2, kind)
+    table = audit.page_table()
+    assert table[0]["page"] == 2
+    assert table[0]["faults"] == 1

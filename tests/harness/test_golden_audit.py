@@ -1,0 +1,87 @@
+"""Golden coherence-audit tests: zero-cost and protocol-state pinning.
+
+Two guarantees over the same 18 quick configurations that
+``golden_cycles.json`` pins:
+
+* **Zero-cost** -- attaching the :class:`~repro.dsm.audit
+  .CoherenceAuditor` never changes a simulated cycle.  The auditor is
+  strictly passive (no RNG, no scheduled events), so an audited run's
+  execution cycles and finish times must be bit-identical to the
+  pinned fixture values, which were recorded *without* auditing.
+* **Protocol-state goldens** -- ``golden_state.json`` pins the SHA-256
+  of each configuration's final per-page applied-interval snapshots
+  and transition counts.  A protocol refactor that silently changes
+  which write notices or diffs flow (even with identical cycles) trips
+  the digest; regenerate only after an intentional protocol change.
+
+Every configuration must also pass the online sanitizer with zero
+violations.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import scaled_app
+from repro.harness.runner import ProtocolConfig, run_app
+
+_FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures"
+
+with (_FIXTURES / "golden_cycles.json").open() as fh:
+    GOLDEN_CYCLES = json.load(fh)
+
+with (_FIXTURES / "golden_state.json").open() as fh:
+    GOLDEN_STATE = json.load(fh)
+
+
+def _config_for(label: str) -> ProtocolConfig:
+    if label.startswith("TM/"):
+        return ProtocolConfig.treadmarks(label[3:])
+    return ProtocolConfig.aurc(prefetch=label.endswith("+P"))
+
+
+def _parse_key(key: str):
+    parts = key.split("/")
+    return parts[0], int(parts[-2][:-1]), "/".join(parts[1:-2])
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_STATE["runs"]))
+def test_audited_run_is_bit_identical_clean_and_state_golden(key):
+    app_name, procs, label = _parse_key(key)
+    result = run_app(scaled_app(app_name, procs, quick=True),
+                     _config_for(label), audit=True)
+    audit = result.audit
+    assert audit is not None
+
+    # Sanitizer: every transition of the run was legal.
+    assert audit.violation_count == 0, \
+        f"{key}: {audit.format_summary()}"
+    # The checks actually ran (vacuity guard).
+    assert audit.checks.get("hb-notice-coverage", 0) > 0
+
+    # Zero-cost: cycles identical to the audit-off golden fixture.
+    expected = GOLDEN_CYCLES["runs"][key]
+    assert result.execution_cycles == expected["execution_cycles"], \
+        f"{key}: auditing changed simulated cycles"
+    assert list(result.finish_times) == expected["finish_times"], \
+        f"{key}: auditing changed finish times"
+
+    # Protocol-state golden: applied snapshots + transition counts.
+    pinned = GOLDEN_STATE["runs"][key]
+    assert audit.final_digest() == pinned["state_digest"], \
+        f"{key}: protocol state digest drifted"
+    assert audit.final_applied_digest() == pinned["applied_digest"], \
+        f"{key}: applied-snapshot digest drifted"
+    assert audit.events == pinned["events"], \
+        f"{key}: audit event count drifted"
+
+
+def test_state_fixture_covers_same_keys_as_cycles_fixture():
+    assert set(GOLDEN_STATE["runs"]) == set(GOLDEN_CYCLES["runs"])
+
+
+def test_audit_off_run_carries_no_auditor():
+    result = run_app(scaled_app("Em3d", 2, quick=True),
+                     ProtocolConfig.treadmarks("Base"))
+    assert result.audit is None

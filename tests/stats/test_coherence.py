@@ -1,0 +1,146 @@
+"""Inspect-document tests (repro.stats.coherence) and the causal
+cross-check: the auditor's useless-prefetch tokens must label the
+matching request lifecycles with zero mismatches.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import scaled_app
+from repro.harness.runner import ProtocolConfig, run_app
+from repro.stats.coherence import (
+    INSPECT_SCHEMA,
+    build_inspect_doc,
+    diff_inspect_docs,
+    format_inspect_diff,
+    format_page,
+    format_timeline,
+    format_top_pages,
+    rank_pages,
+)
+from repro.stats.report import validate_report
+
+
+def _audited_run(app_name="Em3d", label="I+P+D", procs=4, **kwargs):
+    return run_app(scaled_app(app_name, procs, quick=True),
+                   ProtocolConfig.treadmarks(label), audit=True,
+                   **kwargs)
+
+
+@pytest.fixture(scope="module")
+def em3d_doc():
+    result = _audited_run()
+    return build_inspect_doc(result, result.audit)
+
+
+def test_inspect_doc_schema_validates(em3d_doc):
+    assert em3d_doc["schema"] == INSPECT_SCHEMA
+    assert validate_report(em3d_doc) == []
+    # Round-trips through JSON (string keys everywhere).
+    assert validate_report(json.loads(json.dumps(em3d_doc))) == []
+
+
+def test_inspect_doc_content(em3d_doc):
+    assert em3d_doc["run"]["app"] == "Em3d"
+    assert em3d_doc["run"]["protocol"] == "TM/I+P+D"
+    assert em3d_doc["audit"]["violations"] == 0
+    assert em3d_doc["pages"], "no per-page rows recorded"
+    assert em3d_doc["state"]["digest"]
+    assert em3d_doc["timeline"]["barriers"], "no barrier columns"
+    assert em3d_doc["rings"], "no transition rings embedded"
+
+
+def test_rank_pages_orders_by_activity(em3d_doc):
+    ranked = rank_pages(em3d_doc)
+    acts = [(r.get("faults", 0), r.get("diffs_applied", 0),
+             r.get("notices", 0), r.get("useless_prefetches", 0))
+            for r in ranked]
+    assert acts == sorted(acts, reverse=True)
+
+
+def test_format_top_pages_and_timeline_render(em3d_doc):
+    table = format_top_pages(em3d_doc, top=5)
+    assert "top pages" in table and "useless pf" in table
+    timeline = format_timeline(em3d_doc, top=2)
+    assert "barrier intervals" in timeline
+    assert "|" in timeline  # at least one rendered row
+    # Single-page detail view includes the ring entries.
+    page = rank_pages(em3d_doc)[0]["page"]
+    detail = format_page(em3d_doc, page)
+    assert f"page {page} detail" in detail
+    assert "transitions:" in detail
+
+
+def test_format_page_unknown_page(em3d_doc):
+    assert "no coherence activity" in format_page(em3d_doc, 999999)
+
+
+def test_diff_zero_delta_for_seed_identical_runs(em3d_doc):
+    result = _audited_run()
+    other = build_inspect_doc(result, result.audit)
+    diff = diff_inspect_docs(em3d_doc, other)
+    assert diff["identical"] is True
+    assert diff["pages"] == []
+    assert diff["digest"]["match"] is True
+    assert "zero delta" in format_inspect_diff(diff)
+
+
+def test_diff_reports_transition_deltas(em3d_doc):
+    result = _audited_run(label="Base")
+    other = build_inspect_doc(result, result.audit)
+    diff = diff_inspect_docs(em3d_doc, other)
+    assert diff["identical"] is False
+    assert diff["pages"], "protocol change must show per-page deltas"
+    text = format_inspect_diff(diff)
+    assert "state digest differs" in text
+    assert "->" in text
+
+
+def test_digest_determinism_across_processes_shape(em3d_doc):
+    # Same run, same digest -- the doc embeds the frozen end-of-run
+    # digest, insensitive to when the doc is built.
+    result = _audited_run()
+    again = build_inspect_doc(result, result.audit)
+    assert again["state"]["digest"] == em3d_doc["state"]["digest"]
+    assert again["state"]["applied_digest"] \
+        == em3d_doc["state"]["applied_digest"]
+
+
+# -- satellite: causal cross-check on useless prefetches ------------------
+
+
+def test_causal_labels_useless_prefetches_zero_mismatches():
+    from repro.stats.causal import analyze_run
+
+    result = _audited_run(trace=True)
+    audit = result.audit
+    analysis = analyze_run(result)
+    # The cross-check ran and every audit token landed on a lifecycle
+    # that really is a prefetch request: zero mismatches.
+    pa = analysis.prefetch_audit
+    assert pa is not None
+    assert pa["mismatched"] == 0
+    assert pa["tokens"] == len(audit.useless_prefetch_tokens)
+    assert pa["labeled"] + pa["missing"] == pa["tokens"]
+    # Labeled lifecycles agree exactly with the auditor's token set
+    # (restricted to tokens the clipped trace retained).
+    labeled = {r.rid for r in analysis.requests.values() if r.useless}
+    assert labeled == audit.useless_prefetch_tokens \
+        & set(analysis.requests)
+    # Em3d under I+P+D is known to waste some prefetches; the blame
+    # table surfaces them.
+    if audit.prefetch_useless:
+        assert analysis.blame_useless_prefetches(5)
+        assert "useless prefetches" in analysis.format_report(top=3)
+        assert analysis.to_json()["blame"]["useless_prefetches"]
+
+
+def test_causal_without_audit_has_no_prefetch_audit():
+    from repro.stats.causal import analyze_run
+
+    result = run_app(scaled_app("Em3d", 4, quick=True),
+                     ProtocolConfig.treadmarks("I+P+D"), trace=True)
+    analysis = analyze_run(result)
+    assert analysis.prefetch_audit is None
+    assert analysis.blame_useless_prefetches(5) == []
