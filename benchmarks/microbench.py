@@ -22,6 +22,7 @@ import time
 
 from repro.hardware.node import ComputeProcessor
 from repro.hardware.params import MachineParams
+from repro.harness.bench import events_per_second
 from repro.sim import Resource, Simulator
 from repro.stats.breakdown import Category
 
@@ -160,7 +161,7 @@ def main(argv=None) -> int:
         for _ in range(repeat):
             events, wall = fn(scale)
             best_wall = wall if best_wall is None else min(best_wall, wall)
-        rate = events / best_wall if best_wall else 0.0
+        rate = events_per_second(events, best_wall)
         rows.append({"name": name, "events": events,
                      "wall_seconds": best_wall,
                      "events_per_second": rate})

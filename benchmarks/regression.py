@@ -2,7 +2,7 @@
 
 Runs a fixed matrix of quick app x protocol configurations (see
 :mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
-(default ``BENCH_pr6.json``): simulated execution cycles, host
+(default ``BENCH_pr8.json``): simulated execution cycles, host
 wall-clock seconds, and the per-category time fractions (busy / data /
 synch / ipc / others, plus the overlapping diff fraction) for each
 configuration.  CI runs this on every push, uploads the archive as an
@@ -32,7 +32,7 @@ original computation.  (Faulted runs never touch the cache.)
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr6.json
+    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr8.json
     PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
     PYTHONPATH=src python benchmarks/regression.py --check
     PYTHONPATH=src python benchmarks/regression.py \\
@@ -40,7 +40,7 @@ Usage::
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
-Validate the outputs with ``python -m repro validate BENCH_pr6.json``.
+Validate the outputs with ``python -m repro validate BENCH_pr8.json``.
 """
 
 from __future__ import annotations
@@ -69,7 +69,7 @@ __all__ = ["CONFIGS", "SCHEMA", "DEFAULT_OUT", "committed_archive_path",
 
 # The archive this harness claims to write -- and therefore the file
 # that must exist, committed, at the repo root.
-DEFAULT_OUT = "BENCH_pr6.json"
+DEFAULT_OUT = "BENCH_pr8.json"
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

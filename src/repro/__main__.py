@@ -574,12 +574,14 @@ def _cmd_profile(args) -> int:
         events = result.events_processed
     print(f"{args.app} under {config.label} on {args.procs} processors"
           f"{' (quick)' if args.quick else ''}")
+    from repro.harness.bench import events_per_second
     print(f"  events processed : {events}")
     print(f"  wall seconds     : {best_wall:.4f} "
           f"(best of {repeat}, profiler off)")
-    print(f"  events/sec       : {events / best_wall:,.0f}")
+    print(f"  events/sec       : "
+          f"{events_per_second(events, best_wall):,.0f}")
     print(f"  sim cycles/sec   : "
-          f"{result.execution_cycles / best_wall:,.0f}")
+          f"{events_per_second(result.execution_cycles, best_wall):,.0f}")
     # One instrumented run for the attribution table.  cProfile inflates
     # wall time several-fold, so nothing above comes from this run.
     profiler = cProfile.Profile()
@@ -857,7 +859,8 @@ def _cmd_watch(args) -> int:
         aborted = summary.get("aborted")
         print(f"[watch] log {closed}"
               + (f" (aborted: {aborted})" if aborted else "")
-              + f", {summary.get('events', len(records))} records")
+              + f", {summary.get('events', len(records))} records"
+              + f", {summary.get('duration_seconds', 0.0):.2f}s")
         return 0
 
     # Tail mode: render records as they land, stop at the _meta trailer.
@@ -884,9 +887,14 @@ def _cmd_watch(args) -> int:
                         renderer(record)
                         if record.get("kind") == "_meta":
                             aborted = record.get("aborted")
+                            # The trailer's duration is monotonic
+                            # (perf_counter span), not an epoch diff.
+                            dur = record.get("duration_seconds")
                             print("[watch] log closed"
                                   + (f" (aborted: {aborted})"
-                                     if aborted else ""))
+                                     if aborted else "")
+                                  + (f", {dur:.2f}s"
+                                     if dur is not None else ""))
                             return 0
                 else:
                     time.sleep(0.2)
@@ -945,6 +953,8 @@ def _cmd_diff(args) -> int:
 
 
 def _cmd_regress(args) -> int:
+    import time
+
     from repro.stats import baseline
 
     tax = None
@@ -958,12 +968,17 @@ def _cmd_regress(args) -> int:
     kwargs = {}
     if args.cycles_rtol is not None:
         kwargs["cycles_rtol"] = args.cycles_rtol
+    # Monotonic clock for the check's own duration: epoch time can step
+    # (NTP, suspend) and would misreport how long the gate took.
+    start = time.perf_counter()
     report = baseline.check_regressions(
         args.candidate, args.history,
         strict_host=args.strict_host,
         allow_missing=args.allow_missing,
         telemetry_tax=tax, **kwargs)
+    report["check_seconds"] = time.perf_counter() - start
     print(baseline.format_regressions(report))
+    print(f"[regress] checked in {report['check_seconds']:.3f}s")
     if args.json is not None:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -29,6 +29,13 @@ from repro.dsm.shmem import DsmApi, SharedSegment
 
 __all__ = ["Em3d"]
 
+# Graph construction is deterministic in (n_half, degree, remote_frac,
+# nprocs, seed), and benchmark sweeps construct the same Em3d instance
+# many times, so built graphs are memoized per parameter set.  Cached
+# arrays are shared between instances and marked read-only; every
+# consumer copies before mutating (reference_solution) or only reads.
+_GRAPH_CACHE: dict = {}
+
 
 class Em3d(Application):
     """Bipartite E/H propagation over shared value arrays."""
@@ -48,34 +55,54 @@ class Em3d(Application):
         self.seed = seed
         self.e_base = 0
         self.h_base = 0
+        # (pid, in_base) -> sorted page set; the dependency graph is
+        # frozen after construction, so each phase's gather set is too.
+        self._pages_cache: dict = {}
         self._build_graph()
 
     def _build_graph(self) -> None:
-        """Deterministic dependency lists and weights."""
-        rng = np.random.default_rng(self.seed)
-        n, nprocs = self.n_half, self.nprocs
-        self.e_deps = np.empty((n, self.degree), dtype=np.int64)
-        self.h_deps = np.empty((n, self.degree), dtype=np.int64)
-        for deps in (self.e_deps, self.h_deps):
-            for i in range(n):
-                owner = self._owner_of(i)
-                lo, hi = self.block_range(owner, n)
-                for k in range(self.degree):
-                    if rng.random() < self.remote_frac and nprocs > 1:
-                        deps[i, k] = rng.integers(0, n)
-                    else:
-                        deps[i, k] = rng.integers(lo, hi)
-        self.e_weights = rng.uniform(0.01, 0.05, size=(n, self.degree))
-        self.h_weights = rng.uniform(0.01, 0.05, size=(n, self.degree))
-        self.e_init = rng.uniform(-1.0, 1.0, size=n)
-        self.h_init = rng.uniform(-1.0, 1.0, size=n)
+        """Deterministic dependency lists and weights (memoized)."""
+        key = (self.n_half, self.degree, self.remote_frac, self.nprocs,
+               self.seed)
+        cached = _GRAPH_CACHE.get(key)
+        if cached is None:
+            cached = _GRAPH_CACHE[key] = self._materialize_graph()
+        (self.e_deps, self.h_deps, self.e_weights, self.h_weights,
+         self.e_init, self.h_init) = cached
 
-    def _owner_of(self, node: int) -> int:
-        for pid in range(self.nprocs):
-            lo, hi = self.block_range(pid, self.n_half)
-            if lo <= node < hi:
-                return pid
-        return self.nprocs - 1
+    def _materialize_graph(self) -> tuple:
+        # The dependency graph (and therefore the golden cycle counts)
+        # depends on the exact per-element draw order of this RNG
+        # stream: one random() then one bounded integers() per (i, k),
+        # with bounds chosen by the random() draw.  Keep that call
+        # sequence exactly; only the Python-level bookkeeping around it
+        # (the per-node owner scan) is hoisted.
+        rng = np.random.default_rng(self.seed)
+        n, nprocs, degree = self.n_half, self.nprocs, self.degree
+        remote_frac = self.remote_frac
+        e_deps = np.empty((n, degree), dtype=np.int64)
+        h_deps = np.empty((n, degree), dtype=np.int64)
+        random = rng.random
+        integers = rng.integers
+        multi = nprocs > 1
+        blocks = [self.block_range(pid, n) for pid in range(nprocs)]
+        for deps in (e_deps, h_deps):
+            for lo, hi in blocks:
+                for i in range(lo, hi):
+                    row = deps[i]
+                    for k in range(degree):
+                        if random() < remote_frac and multi:
+                            row[k] = integers(0, n)
+                        else:
+                            row[k] = integers(lo, hi)
+        arrays = (e_deps, h_deps,
+                  rng.uniform(0.01, 0.05, size=(n, degree)),
+                  rng.uniform(0.01, 0.05, size=(n, degree)),
+                  rng.uniform(-1.0, 1.0, size=n),
+                  rng.uniform(-1.0, 1.0, size=n))
+        for arr in arrays:
+            arr.flags.writeable = False
+        return arrays
 
     def allocate(self, segment: SharedSegment) -> None:
         self.e_base = segment.alloc("em3d.e", self.n_half)
@@ -116,8 +143,13 @@ class Em3d(Application):
             return
         words_per_page = api.protocol.params.words_per_page
         my_deps = deps[lo:hi]
-        needed_pages = {(in_base + int(d)) // words_per_page
-                        for d in np.unique(my_deps)}
+        cache_key = (pid, in_base, words_per_page)
+        needed_pages = self._pages_cache.get(cache_key)
+        if needed_pages is None:
+            needed_pages = sorted(
+                {(in_base + int(d)) // words_per_page
+                 for d in np.unique(my_deps)})
+            self._pages_cache[cache_key] = needed_pages
         gathered = yield from self._gather(api, in_base, needed_pages)
         # Assemble the source vector from the gathered page windows.
         source = np.zeros(self.n_half)

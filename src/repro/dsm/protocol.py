@@ -319,11 +319,15 @@ class DsmProtocol:
 
     def send(self, src_node: Node, dst: int, msg: Message,
              traffic_class: str = "protocol"):
-        """Generator: send ``msg`` from ``src_node``; charges the caller."""
+        """Send ``msg`` from ``src_node``; charges the caller.
+
+        Returns the NIC's injection generator directly (drive with
+        ``yield from``): no wrapper frame on the hottest path.
+        """
         msg.sender = src_node.node_id
-        yield from src_node.nic.send(dst, msg, msg.size_bytes(self.params),
-                                     traffic_class,
-                                     req=self.request_id_of(msg))
+        return src_node.nic.send(dst, msg, msg.size_bytes(self.params),
+                                 traffic_class,
+                                 req=self.request_id_of(msg))
 
     # -- request-lifecycle spans (guarded: free when tracing is off) --
 

@@ -50,7 +50,7 @@ class PciBus:
         total = lead_cycles + cycles
         sim = self.sim
         heap = sim._heap
-        if heap and heap[0][0] <= sim.now + total:
+        if sim._nowq or (heap and heap[0][0] <= sim.now + total):
             return None
         port.account_uncontended(cycles)
         self.total_bytes += nbytes
@@ -71,6 +71,32 @@ class PciBus:
         finally:
             port.release(req)
         self.total_bytes += nbytes
+
+    def transfer_k(self, nbytes: int, k) -> None:
+        """Continuation form of :meth:`transfer`: call ``k()`` when done.
+
+        Schedules the same (time, seq) slots as the generator form, so
+        simulated cycles are bit-identical; ``k`` runs synchronously for
+        zero-byte transfers.
+        """
+        if nbytes <= 0:
+            k()
+            return
+        cycles = self.params.pci_transfer_cycles(nbytes)
+        port = self.port
+        req = port.try_acquire()
+        if req is not None:
+            self.sim.call_in(cycles, self._finish_k, req, nbytes, k)
+            return
+        req = port.request()
+        req.callbacks.append(
+            lambda _evt, s=self, c=cycles, r=req, n=nbytes, kk=k:
+            s.sim.call_in(c, s._finish_k, r, n, kk))
+
+    def _finish_k(self, req, nbytes: int, k) -> None:
+        self.port.release(req)
+        self.total_bytes += nbytes
+        k()
 
     def utilization(self) -> float:
         return self.port.utilization()

@@ -30,6 +30,7 @@ from typing import Callable, Generator, Optional
 
 from repro.hardware.params import MachineParams
 from repro.sim import Event, PriorityStore, Simulator, fused_burst
+from repro.sim.engine import _PENDING
 from repro.stats.metrics import QUEUE_WAIT_BUCKETS
 
 __all__ = ["ProtocolController", "Command", "PRIORITY_URGENT",
@@ -84,7 +85,15 @@ class ProtocolController:
         self.commands_served = 0
         self.queue_wait_cycles = 0.0
         self.per_command_counts: dict[str, int] = {}
-        self._proc = sim.process(self._serve_loop(), name=f"ctrl{node_id}")
+        # Service state machine: one command at a time, its work
+        # generator driven by bound-method continuations instead of a
+        # persistent serve-loop process.  The bootstrap lands on the
+        # same (time, seq) slot the old process's first step used.
+        self._cmd: Optional[Command] = None
+        self._work_gen: Optional[Generator] = None
+        self._cmd_wait = 0.0
+        self._cmd_started = 0.0
+        sim.call_soon(self._serve_next)
 
     # -- enqueueing ----------------------------------------------------------
 
@@ -115,52 +124,119 @@ class ProtocolController:
             yield self.sim.pooled_timeout(spec.ctrl_retry_cycles)
         self.queue.put(cmd, priority=cmd.priority)
 
-    # -- service loop ---------------------------------------------------------
+    # -- service state machine ------------------------------------------------
+    #
+    # The old persistent serve-loop process is flattened: _serve_next
+    # pulls the next command (parking a getter callback on the queue
+    # when empty), and _drive steps the command's work generator
+    # directly, parking a bound-method callback on whatever event it
+    # yields.  Every schedule lands on the same (time, seq) slot the
+    # generator form used, so simulated cycles are bit-identical.
 
-    def _serve_loop(self):
+    def _serve_next(self, _evt=None) -> None:
+        cmd = self.queue.try_get()
+        if cmd is None:
+            getter = self.queue.get()
+            getter.callbacks.append(self._on_cmd)
+            return
+        self._begin(cmd)
+
+    def _on_cmd(self, event: Event) -> None:
+        self._begin(event._value)
+
+    def _begin(self, cmd: Command) -> None:
+        wait = self.sim.now - cmd.enqueued_at
+        self.queue_wait_cycles += wait
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "ctrl_queue_wait", wait, buckets=QUEUE_WAIT_BUCKETS,
+                node=self.node_id,
+                priority=("low" if cmd.priority >= PRIORITY_PREFETCH
+                          else "high"))
+        faults = self.faults
+        if faults is not None:
+            stall = faults.controller_stall(self.node_id)
+            if stall > 0.0:
+                # Stall window: the core is unavailable before the
+                # command runs; not charged as busy time.
+                self.stall_cycles += stall
+                if metrics is not None:
+                    metrics.inc("ctrl_stall_cycles", stall,
+                                node=self.node_id)
+                self._cmd = cmd
+                self._cmd_wait = wait
+                self.sim.call_in(stall, self._start_work)
+                return
+        self._cmd = cmd
+        self._cmd_wait = wait
+        self._start_work()
+
+    def _start_work(self) -> None:
+        self._cmd_started = self.sim.now
+        self._work_gen = self._cmd.work()
+        self._drive(None, None)
+
+    def _drive(self, value, exc) -> None:
+        """Step the command's work generator until it parks or returns."""
+        gen = self._work_gen
+        sim = self.sim
         while True:
-            cmd: Command = self.queue.try_get()
-            if cmd is None:
-                cmd = yield from self.queue.get_item()
-            wait = self.sim.now - cmd.enqueued_at
-            self.queue_wait_cycles += wait
-            metrics = self.sim.metrics
-            if metrics is not None:
-                metrics.observe(
-                    "ctrl_queue_wait", wait, buckets=QUEUE_WAIT_BUCKETS,
-                    node=self.node_id,
-                    priority=("low" if cmd.priority >= PRIORITY_PREFETCH
-                              else "high"))
-            faults = self.faults
-            if faults is not None:
-                stall = faults.controller_stall(self.node_id)
-                if stall > 0.0:
-                    # Stall window: the core is unavailable before the
-                    # command runs; not charged as busy time.
-                    self.stall_cycles += stall
-                    if metrics is not None:
-                        metrics.inc("ctrl_stall_cycles", stall,
-                                    node=self.node_id)
-                    yield self.sim.pooled_timeout(stall)
-            started = self.sim.now
-            result = yield from cmd.work()
-            elapsed = self.sim.now - started
-            self.busy_cycles += elapsed
-            self.commands_served += 1
-            self.per_command_counts[cmd.name] = (
-                self.per_command_counts.get(cmd.name, 0) + 1)
-            if metrics is not None:
-                metrics.inc("ctrl_commands", node=self.node_id,
-                            command=cmd.name)
-                metrics.inc("ctrl_busy_cycles", elapsed, node=self.node_id)
-            tracer = self.sim.tracer
-            if tracer is not None and tracer.wants("ctrl"):
-                tracer.emit("ctrl", node=self.node_id, track="ctrl",
-                            action=cmd.name, begin=started, dur=elapsed,
-                            wait=wait, priority=cmd.priority,
-                            **({"req": cmd.req} if cmd.req else {}))
-            if cmd.done is not None and not cmd.done.triggered:
-                cmd.done.succeed(result)
+            try:
+                if exc is None:
+                    target = gen.send(value)
+                else:
+                    target = gen.throw(exc)
+            except StopIteration as stop:
+                self._complete(stop.value)
+                return
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._work_step)
+                return
+            # Already fired: bounce through a fresh wakeup at the
+            # current (time, seq) slot, exactly as Process does, so we
+            # never recurse and ordering is unchanged.
+            wakeup = sim.pooled_event()
+            wakeup._value = target._value
+            wakeup._exception = target._exception
+            wakeup.callbacks.append(self._work_step)
+            sim._seq += 1
+            sim._nowq.append((sim.now, sim._seq, wakeup))
+            return
+
+    def _work_step(self, event: Event) -> None:
+        exc = event._exception
+        if exc is None:
+            value = event._value
+            self._drive(None if value is _PENDING else value, None)
+        else:
+            self._drive(None, exc)
+
+    def _complete(self, result) -> None:
+        cmd = self._cmd
+        self._cmd = None
+        self._work_gen = None
+        started = self._cmd_started
+        elapsed = self.sim.now - started
+        self.busy_cycles += elapsed
+        self.commands_served += 1
+        self.per_command_counts[cmd.name] = (
+            self.per_command_counts.get(cmd.name, 0) + 1)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("ctrl_commands", node=self.node_id,
+                        command=cmd.name)
+            metrics.inc("ctrl_busy_cycles", elapsed, node=self.node_id)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("ctrl"):
+            tracer.emit("ctrl", node=self.node_id, track="ctrl",
+                        action=cmd.name, begin=started, dur=elapsed,
+                        wait=self._cmd_wait, priority=cmd.priority,
+                        **({"req": cmd.req} if cmd.req else {}))
+        if cmd.done is not None and not cmd.done.triggered:
+            cmd.done.succeed(result)
+        self._serve_next()
 
     def occupancy(self) -> float:
         """Fraction of elapsed time the controller core was busy."""

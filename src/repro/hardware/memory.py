@@ -54,7 +54,7 @@ class MainMemory:
         total = lead_cycles + cycles
         sim = self.sim
         heap = sim._heap
-        if heap and heap[0][0] <= sim.now + total:
+        if sim._nowq or (heap and heap[0][0] <= sim.now + total):
             return None
         port.account_uncontended(cycles)
         self.total_words += nwords
@@ -83,6 +83,35 @@ class MainMemory:
             port.release(req)
         self.total_words += nwords
         self.total_accesses += 1
+
+    def access_k(self, nwords: int, k, setup: bool = True) -> None:
+        """Continuation form of :meth:`access`: call ``k()`` when done.
+
+        Schedules the same (time, seq) slots as the generator form, so
+        simulated cycles are bit-identical; ``k`` runs synchronously for
+        zero-word bursts.
+        """
+        if nwords <= 0:
+            k()
+            return
+        cycles = nwords * self.params.memory_cycles_per_word
+        if setup:
+            cycles += self.params.memory_setup_cycles
+        port = self.port
+        req = port.try_acquire()
+        if req is not None:
+            self.sim.call_in(cycles, self._finish_k, req, nwords, k)
+            return
+        req = port.request()
+        req.callbacks.append(
+            lambda _evt, s=self, c=cycles, r=req, n=nwords, kk=k:
+            s.sim.call_in(c, s._finish_k, r, n, kk))
+
+    def _finish_k(self, req, nwords: int, k) -> None:
+        self.port.release(req)
+        self.total_words += nwords
+        self.total_accesses += 1
+        k()
 
     def access_scattered(self, nwords: int):
         """Generator: access ``nwords`` at non-contiguous addresses.

@@ -30,6 +30,75 @@ from repro.sim import Resource, Simulator
 __all__ = ["MeshNetwork", "NetworkStats"]
 
 
+class _TransferFlight:
+    """State struct for one contended mesh transfer (continuation form).
+
+    Mirrors the contended branch of :meth:`MeshNetwork.transfer`: acquire
+    the route's links head-first (holding the links behind the worm's
+    head), pay the serialized duration, release, then invoke ``k``.
+    Every schedule lands on the same (time, seq) slot the generator form
+    would use, so simulated cycles are bit-identical.
+    """
+
+    __slots__ = ("net", "src", "dst", "path", "idx", "held", "start",
+                 "duration", "nbytes", "traffic_class", "req", "blocked",
+                 "k")
+
+    def __init__(self, net: "MeshNetwork", src: int, dst: int, path,
+                 start: float, duration: float, nbytes: int,
+                 traffic_class: str, req: int, k):
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.idx = 0
+        self.held: List = []
+        self.start = start
+        self.duration = duration
+        self.nbytes = nbytes
+        self.traffic_class = traffic_class
+        self.req = req
+        self.blocked = 0.0
+        self.k = k
+
+    def advance(self) -> None:
+        """Acquire remaining links; park on the first contended one."""
+        net = self.net
+        path = self.path
+        links = net._links
+        idx = self.idx
+        while idx < len(path):
+            link = links[path[idx]]
+            link_req = link.try_acquire()
+            if link_req is None:
+                link_req = link.request()
+                self.idx = idx
+                link_req.callbacks.append(self._on_grant)
+                return
+            self.held.append((path[idx], link_req))
+            idx += 1
+        self.idx = idx
+        sim = net.sim
+        self.blocked = sim.now - self.start
+        sim.call_in(self.duration, self._finish)
+
+    def _on_grant(self, link_req) -> None:
+        self.held.append((self.path[self.idx], link_req))
+        self.idx += 1
+        self.advance()
+
+    def _finish(self) -> None:
+        net = self.net
+        links = net._links
+        for link_key, link_req in self.held:
+            links[link_key].release(link_req)
+        latency = net.sim.now - self.start
+        net._account(self.src, self.dst, self.nbytes, latency, self.blocked,
+                     self.traffic_class, self.start, len(self.path),
+                     self.req)
+        self.k(False)
+
+
 @dataclass
 class NetworkStats:
     """Aggregate traffic counters for reporting."""
@@ -189,7 +258,7 @@ class MeshNetwork:
         if fuse:
             window = duration + tail_cycles
             heap = sim._heap
-            if not heap or heap[0][0] > start + window:
+            if not sim._nowq and (not heap or heap[0][0] > start + window):
                 for link_key in path:
                     links[link_key].account_uncontended(duration)
                 for resource, cycles in tail_accounts:
@@ -216,12 +285,22 @@ class MeshNetwork:
                 for link_key, link_req in held:
                     links[link_key].release(link_req)
             latency = sim.now - start
-        self.stats.messages += 1
-        self.stats.bytes += nbytes
-        self.stats.total_latency += latency
-        self.stats.total_blocked += blocked
-        per_class = self.stats.per_class_bytes
+        self._account(src, dst, nbytes, latency, blocked, traffic_class,
+                      start, len(path), req)
+        return folded
+
+    def _account(self, src: int, dst: int, nbytes: int, latency: float,
+                 blocked: float, traffic_class: str, start: float,
+                 hops: int, req: int) -> None:
+        """Post-transfer stats/metrics/trace, shared by both forms."""
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += nbytes
+        stats.total_latency += latency
+        stats.total_blocked += blocked
+        per_class = stats.per_class_bytes
         per_class[traffic_class] = per_class.get(traffic_class, 0) + nbytes
+        metrics = self.sim.metrics
         if metrics is not None:
             metrics.inc("net_transfers", traffic_class=traffic_class)
             metrics.inc("net_bytes", nbytes, traffic_class=traffic_class)
@@ -230,11 +309,78 @@ class MeshNetwork:
         tracer = self.sim.tracer
         if tracer is not None and tracer.wants("net"):
             tracer.emit("net", node=src, track="net", action=traffic_class,
-                        dst=dst, bytes=nbytes, hops=len(path),
+                        dst=dst, bytes=nbytes, hops=hops,
                         blocked=blocked, begin=start,
                         dur=latency,
                         **({"req": req} if req else {}))
-        return folded
+
+    def transfer_k(self, src: int, dst: int, nbytes: int,
+                   traffic_class: str = "protocol", req: int = 0,
+                   tail_cycles: float = 0.0, tail_accounts=(),
+                   k=None) -> None:
+        """Continuation form of :meth:`transfer`: call ``k(folded)``.
+
+        Identical timing, fusing, and accounting decisions to the
+        generator form -- every schedule lands on the same (time, seq)
+        slot, so simulated cycles are bit-identical.  ``k`` runs
+        synchronously for local loopback (src == dst), mirroring the
+        generator's immediate return.
+        """
+        if src == dst:
+            k(False)  # local loopback: no mesh traversal
+            return
+        sim = self.sim
+        start = sim.now
+        path = self.route(src, dst)
+        metrics = sim.metrics
+        head = len(path) * self._head_per_hop
+        serialization = nbytes * self.params.link_cycles_per_byte
+        duration = head + serialization
+        links = self._links
+        fuse = True
+        faults = self.faults
+        if faults is not None and faults.route_armed(path):
+            # Same rule as the generator form: armed routes never fuse.
+            fuse = False
+            spike = faults.link_spike(path)
+            if spike > 0.0:
+                duration += spike
+                if metrics is not None:
+                    metrics.inc("net_spike_cycles", spike,
+                                traffic_class=traffic_class)
+        if fuse:
+            for link_key in path:
+                link = links[link_key]
+                if link.users or link._queue:
+                    fuse = False
+                    break
+        if fuse:
+            for resource, _cycles in tail_accounts:
+                if resource.users or resource.queue_length:
+                    fuse = False
+                    break
+        if fuse:
+            window = duration + tail_cycles
+            heap = sim._heap
+            if not sim._nowq and (not heap or heap[0][0] > start + window):
+                for link_key in path:
+                    links[link_key].account_uncontended(duration)
+                for resource, cycles in tail_accounts:
+                    resource.account_uncontended(cycles)
+                sim.call_in(window, self._finish_fused, src, dst, nbytes,
+                            traffic_class, req, start, len(path),
+                            duration, tail_cycles, k)
+                return
+        _TransferFlight(self, src, dst, path, start, duration, nbytes,
+                        traffic_class, req, k).advance()
+
+    def _finish_fused(self, src: int, dst: int, nbytes: int,
+                      traffic_class: str, req: int, start: float,
+                      hops: int, duration: float, tail_cycles: float,
+                      k) -> None:
+        self._account(src, dst, nbytes, duration, 0.0, traffic_class,
+                      start, hops, req)
+        k(tail_cycles > 0)
 
     def link_utilization(self) -> float:
         """Mean utilization across all links."""

@@ -145,6 +145,136 @@ class UpdateBatch:
     enqueued_at: float = 0.0
 
 
+class _MessageFlight:
+    """State struct for one in-flight explicit message (continuation form).
+
+    Replaces the per-message daemon process that used to drive
+    ``NetworkInterface._fly``: mesh transfer, destination ejection DMA,
+    then handler delivery, each leg chained by a bound-method
+    continuation.  Launched via ``sim.call_soon`` so the bootstrap lands
+    on the same (time, seq) slot the daemon process would have used.
+    """
+
+    __slots__ = ("nic", "dst", "payload", "nbytes", "traffic_class",
+                 "req", "dst_nic")
+
+    def __init__(self, nic: "NetworkInterface", dst: int, payload: Any,
+                 nbytes: int, traffic_class: str, req: int):
+        self.nic = nic
+        self.dst = dst
+        self.payload = payload
+        self.nbytes = nbytes
+        self.traffic_class = traffic_class
+        self.req = req
+        self.dst_nic = None
+
+    def start(self) -> None:
+        nic = self.nic
+        dst = self.dst
+        self.dst_nic = nic.peer(dst)
+        if dst != nic.node_id:
+            # Let the mesh transfer fold the destination's ejection DMA
+            # into its fused timeout when the whole flight is quiet.
+            pci_c = (nic.params.pci_transfer_cycles(self.nbytes)
+                     if self.nbytes > 0 else 0.0)
+            nic.network.transfer_k(
+                nic.node_id, dst, self.nbytes, self.traffic_class,
+                req=self.req, tail_cycles=pci_c,
+                tail_accounts=(((self.dst_nic.pci.port, pci_c),)
+                               if pci_c > 0 else ()),
+                k=self._after_net)
+        else:
+            self._after_net(False)
+
+    def _after_net(self, folded: bool) -> None:
+        if folded:
+            self.dst_nic.pci.total_bytes += self.nbytes
+            self._deliver()
+        else:
+            # Ejection DMA at the destination.
+            self.dst_nic.pci.transfer_k(self.nbytes, self._deliver)
+
+    def _deliver(self) -> None:
+        dst_nic = self.dst_nic
+        if dst_nic.handler is None:
+            raise RuntimeError(f"node {self.dst} has no message handler")
+        dst_nic.handler(self.payload)
+
+
+class _UpdateFlight:
+    """State struct for one in-flight automatic-update batch.
+
+    Replaces the per-batch daemon process that used to drive
+    ``AutomaticUpdateEngine._fly``: mesh transfer with the destination
+    DMA folded in when quiet, else PCI ejection then DRAM, then sequence
+    publication and handler delivery.
+    """
+
+    __slots__ = ("engine", "batch", "dst_nic", "mem", "nwords")
+
+    def __init__(self, engine: "AutomaticUpdateEngine", batch: UpdateBatch):
+        self.engine = engine
+        self.batch = batch
+        self.dst_nic = None
+        self.mem = None
+        self.nwords = 0
+
+    def start(self) -> None:
+        engine = self.engine
+        batch = self.batch
+        nic = engine.nic
+        dst_nic = self.dst_nic = nic.peer(batch.dst)
+        mem = self.mem = dst_nic.memory
+        nwords = self.nwords = max(1, batch.nbytes // engine.params.word_bytes)
+        # Let the mesh transfer fold the destination-side DMA (PCI then
+        # DRAM) into its fused timeout when the whole flight is quiet.
+        pci_c = engine.params.pci_transfer_cycles(batch.nbytes)
+        mem_c = mem.service_cycles(nwords)
+        nic.network.transfer_k(
+            nic.node_id, batch.dst, batch.nbytes,
+            traffic_class="update",
+            tail_cycles=pci_c + mem_c,
+            tail_accounts=((dst_nic.pci.port, pci_c), (mem.port, mem_c)),
+            k=self._after_net)
+
+    def _after_net(self, folded: bool) -> None:
+        batch = self.batch
+        if folded:
+            self.dst_nic.pci.total_bytes += batch.nbytes
+            mem = self.mem
+            mem.total_words += self.nwords
+            mem.total_accesses += 1
+            self._deliver()
+        else:
+            # Destination-side DMA into memory: PCI then DRAM.
+            self.dst_nic.pci.transfer_k(batch.nbytes, self._after_pci)
+
+    def _after_pci(self) -> None:
+        self.mem.access_k(self.nwords, self._deliver)
+
+    def _deliver(self) -> None:
+        engine = self.engine
+        batch = self.batch
+        dst_nic = self.dst_nic
+        engine.update_bytes += batch.nbytes
+        tracer = engine.sim.tracer
+        if tracer is not None and tracer.wants("au"):
+            tracer.emit("au", node=batch.dst, track="nic",
+                        action="deliver", src=engine.nic.node_id,
+                        page=batch.page, bytes=batch.nbytes,
+                        seq=batch.seq)
+        peer_engine = dst_nic.au_engine
+        src = engine.nic.node_id
+        if batch.seq > peer_engine.received_seq.get(src, 0):
+            peer_engine.received_seq[src] = batch.seq
+            peer_engine._release_seq_waiters(src)
+        if dst_nic.au_handler is not None:
+            dst_nic.au_handler(src, batch.page, batch.nbytes, batch.seq)
+        engine._in_flight -= 1
+        if not engine._queue and engine._in_flight == 0:
+            engine._notify_idle()
+
+
 class AutomaticUpdateEngine:
     """The SHRIMP automatic-update pipeline of one node's NIC.
 
@@ -171,7 +301,12 @@ class AutomaticUpdateEngine:
         self.updates_issued = 0
         self.updates_combined = 0
         self.update_bytes = 0
-        self.sim.process(self._drain_loop(), name=f"au-drain{nic.node_id}")
+        # The drain pipeline is a continuation-driven state machine
+        # (one batch at a time through injection, then an asynchronous
+        # _UpdateFlight per batch); bootstrap lands on the same
+        # (time, seq) slot the old drain-loop process used.
+        self._inject_batch: Optional[UpdateBatch] = None
+        self.sim.call_soon(self._drain_step)
 
     # -- producer side ------------------------------------------------------
 
@@ -259,66 +394,44 @@ class AutomaticUpdateEngine:
 
     # -- internals ------------------------------------------------------------
 
-    def _drain_loop(self):
-        while True:
-            if not self._queue:
-                self._notify_idle()
-                self._wake = Event(self.sim)
-                yield self._wake
-                continue
-            batch = self._queue.popleft()
-            self._in_flight += 1
-            # Per-update injection overhead (1 cycle by default; the
-            # figure 13 variant charges full messaging overhead) fused
-            # with the PCI injection when the bus is idle.
-            overhead = self.params.aurc_update_overhead_cycles
-            fused = self.nic.pci.burst_timeout(batch.nbytes, overhead)
-            if fused is not None:
-                yield fused
-            else:
-                yield self.sim.pooled_timeout(overhead)
-                yield from self.nic.pci.transfer(batch.nbytes)
-            self.sim.process(self._fly(batch), name="au-fly", daemon=True)
+    def _drain_step(self, _evt=None) -> None:
+        """Drain-pipeline state machine: park when idle, else inject.
 
-    def _fly(self, batch: UpdateBatch):
-        net = self.nic.network
-        dst_nic = self.nic.peer(batch.dst)
-        nwords = max(1, batch.nbytes // self.params.word_bytes)
-        mem = dst_nic.memory
-        # Let the mesh transfer fold the destination-side DMA (PCI then
-        # DRAM) into its fused timeout when the whole flight is quiet.
-        pci_c = self.params.pci_transfer_cycles(batch.nbytes)
-        mem_c = mem.service_cycles(nwords)
-        folded = yield from net.transfer(
-            self.nic.node_id, batch.dst, batch.nbytes,
-            traffic_class="update",
-            tail_cycles=pci_c + mem_c,
-            tail_accounts=((dst_nic.pci.port, pci_c), (mem.port, mem_c)))
-        if folded:
-            dst_nic.pci.total_bytes += batch.nbytes
-            mem.total_words += nwords
-            mem.total_accesses += 1
-        else:
-            # Destination-side DMA into memory: PCI then DRAM.
-            yield from dst_nic.pci.transfer(batch.nbytes)
-            yield from mem.access(nwords)
-        self.update_bytes += batch.nbytes
-        tracer = self.sim.tracer
-        if tracer is not None and tracer.wants("au"):
-            tracer.emit("au", node=batch.dst, track="nic",
-                        action="deliver", src=self.nic.node_id,
-                        page=batch.page, bytes=batch.nbytes,
-                        seq=batch.seq)
-        engine = dst_nic.au_engine
-        src = self.nic.node_id
-        if batch.seq > engine.received_seq.get(src, 0):
-            engine.received_seq[src] = batch.seq
-            engine._release_seq_waiters(src)
-        if dst_nic.au_handler is not None:
-            dst_nic.au_handler(src, batch.page, batch.nbytes, batch.seq)
-        self._in_flight -= 1
-        if not self._queue and self._in_flight == 0:
+        Doubles as the wake event's callback (hence the ignored event
+        argument).  Each schedule lands on the same (time, seq) slot
+        the old generator drain loop used, so cycles are bit-identical.
+        """
+        if not self._queue:
             self._notify_idle()
+            wake = Event(self.sim)
+            self._wake = wake
+            wake.callbacks.append(self._drain_step)
+            return
+        batch = self._queue.popleft()
+        self._in_flight += 1
+        self._inject_batch = batch
+        # Per-update injection overhead (1 cycle by default; the
+        # figure 13 variant charges full messaging overhead) fused
+        # with the PCI injection when the bus is idle.
+        overhead = self.params.aurc_update_overhead_cycles
+        fused = self.nic.pci.burst_timeout(batch.nbytes, overhead)
+        if fused is not None:
+            fused.callbacks.append(self._injected_evt)
+        else:
+            timeout = self.sim.pooled_timeout(overhead)
+            timeout.callbacks.append(self._overhead_done)
+
+    def _overhead_done(self, _evt) -> None:
+        self.nic.pci.transfer_k(self._inject_batch.nbytes, self._injected)
+
+    def _injected_evt(self, _evt) -> None:
+        self._injected()
+
+    def _injected(self) -> None:
+        batch = self._inject_batch
+        self._inject_batch = None
+        self.sim.call_soon(_UpdateFlight(self, batch).start)
+        self._drain_step()
 
     def _release_seq_waiters(self, src: int) -> None:
         waiters = self._seq_waiters.get(src)
@@ -419,9 +532,9 @@ class NetworkInterface:
         if self.faults is not None and dst != self.node_id:
             self._launch_reliable(dst, payload, nbytes, traffic_class, req)
         else:
-            self.sim.process(
-                self._fly(dst, payload, nbytes, traffic_class, req),
-                name=f"msg{self.node_id}->{dst}", daemon=True)
+            self.sim.call_soon(
+                _MessageFlight(self, dst, payload, nbytes, traffic_class,
+                               req).start)
 
     # -- reliable delivery (fault plans only) -------------------------------
 
@@ -551,27 +664,3 @@ class NetworkInterface:
                         dur=now - pend.last_sent,
                         **({"req": env.req} if env.req else {}))
 
-    # -- legacy direct flight ----------------------------------------------
-
-    def _fly(self, dst: int, payload: Any, nbytes: int, traffic_class: str,
-             req: int = 0):
-        dst_nic = self.peer(dst)
-        folded = False
-        if dst != self.node_id:
-            # Let the mesh transfer fold the destination's ejection DMA
-            # into its fused timeout when the whole flight is quiet.
-            pci_c = (self.params.pci_transfer_cycles(nbytes)
-                     if nbytes > 0 else 0.0)
-            folded = yield from self.network.transfer(
-                self.node_id, dst, nbytes, traffic_class, req=req,
-                tail_cycles=pci_c,
-                tail_accounts=(((dst_nic.pci.port, pci_c),)
-                               if pci_c > 0 else ()))
-        if folded:
-            dst_nic.pci.total_bytes += nbytes
-        else:
-            # Ejection DMA at the destination.
-            yield from dst_nic.pci.transfer(nbytes)
-        if dst_nic.handler is None:
-            raise RuntimeError(f"node {dst} has no message handler")
-        dst_nic.handler(payload)

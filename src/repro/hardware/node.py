@@ -186,15 +186,22 @@ class ComputeProcessor:
             start = sim.now
             if interruptible:
                 heap = sim._heap
-                if not heap or heap[0][0] > start + remaining:
+                if not sim._nowq and (not heap
+                                      or heap[0][0] > start + remaining):
                     # Quiet window: no other event can run (so no service
                     # can be posted) before this slice completes -- skip
                     # the race machinery entirely.
                     yield sim.pooled_timeout(remaining)
                 else:
                     timeout = sim.pooled_timeout(remaining)
-                    yield self._arm(timeout)
-                    self._disarm(timeout)
+                    try:
+                        yield self._arm(timeout)
+                    finally:
+                        # Disarm even when an Interrupt lands at the
+                        # yield: a stale trampoline on the gate would
+                        # otherwise succeed() the pooled wake after it
+                        # has been recycled for an unrelated purpose.
+                        self._disarm(timeout)
                 elapsed = sim.now - start
                 self.breakdown.charge(category, elapsed)
                 remaining -= elapsed
@@ -227,12 +234,15 @@ class ComputeProcessor:
             start = sim.now
             if interruptible:
                 heap = sim._heap
-                if not heap or heap[0][0] > start + remaining:
+                if not sim._nowq and (not heap
+                                      or heap[0][0] > start + remaining):
                     yield sim.pooled_timeout(remaining)
                 else:
                     timeout = sim.pooled_timeout(remaining)
-                    yield self._arm(timeout)
-                    self._disarm(timeout)
+                    try:
+                        yield self._arm(timeout)
+                    finally:
+                        self._disarm(timeout)
             else:
                 yield sim.pooled_timeout(remaining)
             elapsed = sim.now - start
@@ -252,8 +262,10 @@ class ComputeProcessor:
                     yield from self.drain_services()
                     continue
                 wake = self._arm(event)
-                yield wake
-                self._disarm(event)
+                try:
+                    yield wake
+                finally:
+                    self._disarm(event)
             else:
                 yield event
             self.breakdown.charge(category, sim.now - start)

@@ -18,8 +18,22 @@ from repro.harness.parallel import SimRequest, SweepRunner
 from repro.harness.runner import ProtocolConfig
 from repro.stats.breakdown import Category
 
-__all__ = ["CONFIGS", "SCHEMA", "config_for", "run_matrix",
-           "faulted_matrix", "fault_overhead_row", "build_archive"]
+__all__ = ["CONFIGS", "SCHEMA", "config_for", "events_per_second",
+           "run_matrix", "faulted_matrix", "fault_overhead_row",
+           "build_archive"]
+
+
+def events_per_second(events: float, wall: Optional[float]) -> float:
+    """Throughput with the degenerate-wall guard applied in one place.
+
+    Every events/s (and cycles/s) figure in the harness divides a count
+    by a measured wall clock that can legitimately be zero or missing
+    (cached rows, sub-resolution timers); callers must use this helper
+    instead of dividing inline.
+    """
+    if not wall or wall <= 0.0:
+        return 0.0
+    return events / wall
 
 # The regression matrix: small enough for CI, wide enough to cover the
 # base protocol, the full overlap pipeline (prefetch + controller), and
@@ -43,14 +57,27 @@ def config_for(protocol: str) -> ProtocolConfig:
 def run_matrix(procs: int = 4, quick: bool = True,
                configs: Sequence[Tuple[str, str]] = CONFIGS,
                runner: Optional[SweepRunner] = None,
-               echo=print) -> list:
+               warmup: bool = True, echo=print) -> list:
     """Run every configuration; returns the archive's ``runs`` rows.
 
     ``wall_seconds`` is the wall time the simulation actually took when
     it was computed (preserved across cache hits); ``cached`` records
     whether this invocation recomputed the row or served it from cache.
+
+    ``warmup`` runs one untimed simulation first when the matrix is
+    serial in-process, so the first row's wall clock measures the
+    simulator rather than one-time process warm-up (allocator growth,
+    bytecode specialization, lazy imports).  Pool workers cannot be
+    pre-warmed this way; serial mode is what the committed archives
+    record.
     """
     runner = runner if runner is not None else SweepRunner(jobs=1)
+    if warmup and runner.jobs == 1 and configs:
+        from repro.harness.experiments import scaled_app
+        from repro.harness.runner import run_app
+        app_name, protocol = configs[0]
+        run_app(scaled_app(app_name, procs, quick=quick),
+                config_for(protocol), verify=False)
     requests = [
         SimRequest.for_app(app_name, procs, config_for(protocol),
                            quick=quick, verify=True)
@@ -73,7 +100,7 @@ def run_matrix(procs: int = 4, quick: bool = True,
             "execution_cycles": result.execution_cycles,
             "wall_seconds": wall,
             "events_processed": events,
-            "events_per_second": events / wall if wall else 0.0,
+            "events_per_second": events_per_second(events, wall),
             "cached": result.cached,
             "fractions": fractions,
             "diff_fraction": (merged.diff_cycles / merged.total
@@ -82,7 +109,7 @@ def run_matrix(procs: int = 4, quick: bool = True,
         })
         if echo is not None:
             origin = "cached" if result.cached else "simulated"
-            rate = events / wall if wall else 0.0
+            rate = events_per_second(events, wall)
             echo(f"  {app_name:8s} {result.protocol_label:12s} "
                  f"{result.execution_cycles / 1e6:8.2f} Mcycles  "
                  f"{wall:6.2f} s  {events:7d} ev "
@@ -127,7 +154,7 @@ def faulted_matrix(procs: int = 4, quick: bool = True, seed: int = 7,
             "execution_cycles": result.execution_cycles,
             "wall_seconds": wall,
             "events_processed": events,
-            "events_per_second": events / wall if wall else 0.0,
+            "events_per_second": events_per_second(events, wall),
             "cached": False,
             "fractions": {category.value: merged.fraction(category)
                           for category in Category},
@@ -180,8 +207,8 @@ def fault_overhead_row(procs: int = 4, quick: bool = True,
         "execution_cycles": faulted.execution_cycles,
         "wall_seconds": wall,
         "events_processed": faulted.events_processed,
-        "events_per_second": (faulted.events_processed / wall
-                              if wall else 0.0),
+        "events_per_second": events_per_second(
+            faulted.events_processed, wall),
         "cached": False,
         "fractions": {category.value: merged.fraction(category)
                       for category in Category},

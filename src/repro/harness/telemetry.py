@@ -34,8 +34,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 __all__ = [
     "SWEEP_LOG_SCHEMA", "TelemetryBus", "SweepLogWriter", "LiveRenderer",
-    "bus", "publish", "read_sweep_log", "sweep_log_summary",
-    "measure_telemetry_tax",
+    "bus", "publish", "read_sweep_log", "sweep_log_duration",
+    "sweep_log_summary", "measure_telemetry_tax",
 ]
 
 SWEEP_LOG_SCHEMA = "repro-sweep-log/1"
@@ -47,8 +47,11 @@ class TelemetryBus:
     """Synchronous fan-out of event dicts to subscribed callbacks.
 
     Events are plain dicts with a ``kind`` key plus whatever fields the
-    publisher attaches; ``ts`` (host epoch seconds) is stamped here so
-    every subscriber sees the same timestamp.  A subscriber exception
+    publisher attaches; ``ts`` (host epoch seconds, for display) and
+    ``mono`` (``time.perf_counter()`` seconds, for duration math --
+    immune to wall-clock steps from NTP or a suspended laptop) are
+    stamped here so every subscriber sees the same timestamps.  A
+    subscriber exception
     propagates to the publisher: telemetry consumers are part of the
     harness, not untrusted plugins, and a silently broken log writer
     would defeat the whole point of the layer.
@@ -74,7 +77,8 @@ class TelemetryBus:
     def publish(self, kind: str, **fields: Any) -> None:
         if not self._subscribers:
             return
-        event = {"kind": kind, "ts": time.time()}
+        event = {"kind": kind, "ts": time.time(),
+                 "mono": time.perf_counter()}
         event.update(fields)
         for callback in list(self._subscribers):
             callback(event)
@@ -115,8 +119,9 @@ class SweepLogWriter:
         self.closed = False
         self._bus = bus if bus is not None else _BUS
         self._fh = open(path, "w")
+        self._mono_open = time.perf_counter()
         header = {"schema": SWEEP_LOG_SCHEMA, "kind": "_open",
-                  "ts": time.time()}
+                  "ts": time.time(), "mono": self._mono_open}
         if context:
             header.update(context)
         self._write(header)
@@ -137,7 +142,9 @@ class SweepLogWriter:
             return
         self.closed = True
         self._bus.unsubscribe(self)
-        trailer = {"kind": "_meta", "ts": time.time(),
+        mono = time.perf_counter()
+        trailer = {"kind": "_meta", "ts": time.time(), "mono": mono,
+                   "duration_seconds": mono - self._mono_open,
                    "events": self.events_written}
         if aborted is not None:
             trailer["aborted"] = aborted
@@ -169,6 +176,22 @@ def read_sweep_log(path: str) -> List[Dict[str, Any]]:
     return records
 
 
+def sweep_log_duration(records: List[Dict[str, Any]]) -> float:
+    """Elapsed seconds a sweep log covers, from the monotonic stamps.
+
+    Prefers the ``mono`` (``time.perf_counter()``) span between the
+    first and last stamped records; epoch ``ts`` is display-only and
+    steps with the host clock, so it is used only as a fallback for
+    logs written before ``mono`` existed.
+    """
+    for key in ("mono", "ts"):
+        stamps = [record[key] for record in records
+                  if isinstance(record.get(key), (int, float))]
+        if len(stamps) >= 2:
+            return max(0.0, stamps[-1] - stamps[0])
+    return 0.0
+
+
 def sweep_log_summary(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Roll a sweep log up into totals (the ``repro watch`` footer)."""
     counts: Dict[str, int] = {}
@@ -193,6 +216,7 @@ def sweep_log_summary(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         "cache_hits": hits,
         "cache_hit_rate": hits / total if total else 0.0,
         "compute_seconds": compute_seconds,
+        "duration_seconds": sweep_log_duration(records),
         "failures": counts.get("job_failed", 0),
         "closed": closed,
         "aborted": aborted,

@@ -20,6 +20,7 @@ Public surface:
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    Continuation,
     Event,
     Interrupt,
     Process,
@@ -37,6 +38,7 @@ from repro.sim.resources import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Continuation",
     "Event",
     "Interrupt",
     "PriorityResource",

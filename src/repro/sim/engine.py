@@ -36,11 +36,24 @@ Performance notes (the kernel is the simulator's hot loop):
   inlines :meth:`step`'s pop/advance/dispatch sequence.
 * ``succeed``/``fail`` inline the zero-delay schedule (the common case)
   rather than calling :meth:`Simulator._schedule`.
+* Zero-delay schedules land in a same-cycle batch queue (``_nowq``, a
+  FIFO deque) instead of the heap; the run loop drains it by merging
+  against the heap on ``(time, seq)``, so dispatch order is
+  bit-identical to a heap-only engine while the dominant
+  schedule-at-now case costs an append instead of a sift.
+* The hot request path (fault -> controller -> NIC -> mesh -> reply)
+  runs as continuation-driven state structs (:class:`Continuation`,
+  :meth:`Simulator.call_soon` / :meth:`Simulator.call_in`) rather than
+  nested generators: one pooled callback object per hop, no `Process`,
+  no generator frames.  Cold paths (barriers, epilogues, prefetch
+  finalization, the NIC reliability layer) keep the richer generator
+  form -- see DESIGN.md section 7.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -51,6 +64,7 @@ __all__ = [
     "Interrupt",
     "AnyOf",
     "AllOf",
+    "Continuation",
     "Simulator",
 ]
 
@@ -120,7 +134,7 @@ class Event:
         sim = self.sim
         if delay == 0:
             sim._seq += 1
-            heappush(sim._heap, (sim.now, sim._seq, self))
+            sim._nowq.append((sim.now, sim._seq, self))
         else:
             sim._schedule(self, delay)
         return self
@@ -136,7 +150,7 @@ class Event:
         sim = self.sim
         if delay == 0:
             sim._seq += 1
-            heappush(sim._heap, (sim.now, sim._seq, self))
+            sim._nowq.append((sim.now, sim._seq, self))
         else:
             sim._schedule(self, delay)
         return self
@@ -284,6 +298,40 @@ class AllOf(_Condition):
             self._finish()
 
 
+class Continuation:
+    """A bound callback scheduled at a ``(time, seq)`` dispatch slot.
+
+    The first-class continuation primitive of the flat dispatch engine
+    (DESIGN.md section 7): state-machine code schedules the next step
+    with :meth:`Simulator.call_soon` / :meth:`Simulator.call_in`
+    instead of allocating a :class:`Process` around a generator.  The
+    run loop invokes the callback exactly where it would have resumed a
+    waiting process, then recycles the object into a free list.
+
+    Continuations are fire-and-forget: they cannot be waited on,
+    composed, or interrupted.  Paths that need those semantics (or that
+    are cold enough not to matter) keep the generator/:class:`Process`
+    form.
+    """
+
+    __slots__ = ("sim", "fn", "args", "_recycle")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.fn: Optional[Callable] = None
+        self.args: tuple = ()
+        self._recycle = True
+
+    def _resume_waiters(self) -> None:
+        fn, args = self.fn, self.args
+        self.fn = None
+        self.args = ()
+        fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Continuation {self.fn!r} at {hex(id(self))}>"
+
+
 class Process(Event):
     """A running generator; also an event that fires when it returns.
 
@@ -409,7 +457,7 @@ class Process(Event):
         wakeup.callbacks.append(self._step)
         self._waiting_on = wakeup
         sim._seq += 1
-        heappush(sim._heap, (sim.now, sim._seq, wakeup))
+        sim._nowq.append((sim.now, sim._seq, wakeup))
 
 
 class Simulator:
@@ -428,14 +476,28 @@ class Simulator:
         self.now: float = 0
         self.strict = strict
         self._heap: List[tuple] = []
+        # Same-cycle batch queue: every zero-delay schedule (succeed/
+        # fail bounces, wakeups, call_soon continuations) lands here
+        # instead of the heap.  Entries are ``(time, seq, obj)`` exactly
+        # like heap entries and are appended in seq order at the current
+        # time, so the deque is always sorted; the run loop merges the
+        # two sources by ``(time, seq)`` and drains everything scheduled
+        # at ``now`` before touching the heap again.  Fast-path quiet-
+        # window checks must treat a non-empty nowq as "events pending
+        # at now" (see Resource.try_acquire).
+        self._nowq: deque = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.events_processed: int = 0
         # Free lists for kernel-internal short-lived objects.  Only
         # events created via pooled_event/pooled_timeout are recycled;
-        # user-visible events are never pooled.
+        # user-visible events are never pooled.  The ``_recycle`` flag
+        # doubles as an in-pool guard: it is cleared when an object
+        # enters a pool and re-set when it leaves, so a stray second
+        # dispatch of a recycled object can never double-insert it.
         self._event_pool: List[Event] = []
         self._timeout_pool: List[Timeout] = []
+        self._cont_pool: List[Continuation] = []
         # Observability attachment points.  Instrumented components read
         # these and emit only when non-None (tracer additionally gated
         # per category via `wants`), so a bare simulator pays a single
@@ -470,6 +532,51 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- continuations -----------------------------------------------------
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Dispatch ``fn(*args)`` at the next ``(now, seq)`` slot.
+
+        The continuation fires in exactly the position a zero-delay
+        event scheduled here would have, after everything already
+        scheduled at ``now`` -- the state-machine equivalent of
+        spawning a daemon process (whose bootstrap wakeup occupies the
+        same slot) or bouncing off an already-processed event.
+        """
+        pool = self._cont_pool
+        if pool:
+            cont = pool.pop()
+            cont._recycle = True
+        else:
+            cont = Continuation(self)
+        cont.fn = fn
+        cont.args = args
+        self._seq += 1
+        self._nowq.append((self.now, self._seq, cont))
+
+    def call_in(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Dispatch ``fn(*args)`` at ``(now + delay, seq)``.
+
+        The continuation occupies the same heap slot a pooled timeout
+        created here would have, so replacing ``yield pooled_timeout(d)``
+        with ``call_in(d, next_step)`` preserves event order exactly.
+        """
+        if delay == 0:
+            self.call_soon(fn, *args)
+            return
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        pool = self._cont_pool
+        if pool:
+            cont = pool.pop()
+            cont._recycle = True
+        else:
+            cont = Continuation(self)
+        cont.fn = fn
+        cont.args = args
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, self._seq, cont))
+
     # -- free-list pools ---------------------------------------------------
 
     def pooled_event(self) -> Event:
@@ -485,6 +592,7 @@ class Simulator:
             event.callbacks = []
             event._value = _PENDING
             event._exception = None
+            event._recycle = True
             return event
         event = Event(self)
         event._recycle = True
@@ -509,6 +617,7 @@ class Simulator:
         timeout.callbacks = []
         timeout._value = _PENDING
         timeout._exception = None
+        timeout._recycle = True
         timeout.delay = delay
         timeout._pending_value = value
         self._seq += 1
@@ -516,13 +625,22 @@ class Simulator:
         return timeout
 
     def _recycle_event(self, event: Event) -> None:
+        # ``_recycle`` is cleared on pool entry (and re-set on exit), so
+        # a double dispatch of the same object -- the failure mode a
+        # detached-waiter bug would produce -- cannot insert it twice.
         cls = event.__class__
         if cls is Event:
             if len(self._event_pool) < _POOL_MAX:
+                event._recycle = False
                 self._event_pool.append(event)
         elif cls is Timeout:
             if len(self._timeout_pool) < _POOL_MAX:
+                event._recycle = False
                 self._timeout_pool.append(event)
+        elif cls is Continuation:
+            if len(self._cont_pool) < _POOL_MAX:
+                event._recycle = False
+                self._cont_pool.append(event)
 
     # -- scheduling and the main loop -------------------------------------
 
@@ -530,15 +648,29 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0:
+            self._nowq.append((self.now, self._seq, event))
+        else:
+            heappush(self._heap, (self.now + delay, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        nowq = self._nowq
+        heap = self._heap
+        if nowq:
+            if heap and heap[0][0] < nowq[0][0]:
+                return heap[0][0]
+            return nowq[0][0]
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one scheduled event."""
-        time, _seq, event = heapq.heappop(self._heap)
+        nowq = self._nowq
+        heap = self._heap
+        if nowq and not (heap and heap[0] < nowq[0]):
+            time, _seq, event = nowq.popleft()
+        else:
+            time, _seq, event = heapq.heappop(heap)
         if time < self.now:
             raise RuntimeError("time went backwards")
         self.now = time
@@ -559,16 +691,24 @@ class Simulator:
         here (it stays in :meth:`step` for manual stepping).
         """
         heap = self._heap
+        nowq = self._nowq
         pop = heapq.heappop
+        popleft = nowq.popleft
         processed = 0
         try:
             if isinstance(until, Event):
                 stop_event = until
-                while heap:
+                while nowq or heap:
                     if (stop_event._value is not _PENDING
                             or stop_event._exception is not None):
                         break
-                    entry = pop(heap)
+                    if nowq:
+                        if heap and heap[0] < nowq[0]:
+                            entry = pop(heap)
+                        else:
+                            entry = popleft()
+                    else:
+                        entry = pop(heap)
                     self.now = entry[0]
                     event = entry[2]
                     event._resume_waiters()
@@ -578,10 +718,17 @@ class Simulator:
                         if cls is Timeout:
                             pool = self._timeout_pool
                             if len(pool) < _POOL_MAX:
+                                event._recycle = False
+                                pool.append(event)
+                        elif cls is Continuation:
+                            pool = self._cont_pool
+                            if len(pool) < _POOL_MAX:
+                                event._recycle = False
                                 pool.append(event)
                         elif cls is Event:
                             pool = self._event_pool
                             if len(pool) < _POOL_MAX:
+                                event._recycle = False
                                 pool.append(event)
                 if stop_event._exception is not None:
                     raise stop_event._exception
@@ -593,8 +740,17 @@ class Simulator:
                 stop_time = float(until)
                 if stop_time < self.now:
                     raise ValueError("until lies in the past")
-                while heap and heap[0][0] <= stop_time:
-                    entry = pop(heap)
+                # nowq entries always carry the current time, which the
+                # initial check pinned at <= stop_time, so only the heap
+                # needs the stop-time guard.
+                while nowq or (heap and heap[0][0] <= stop_time):
+                    if nowq:
+                        if heap and heap[0] < nowq[0]:
+                            entry = pop(heap)
+                        else:
+                            entry = popleft()
+                    else:
+                        entry = pop(heap)
                     self.now = entry[0]
                     event = entry[2]
                     event._resume_waiters()
@@ -604,15 +760,28 @@ class Simulator:
                         if cls is Timeout:
                             pool = self._timeout_pool
                             if len(pool) < _POOL_MAX:
+                                event._recycle = False
+                                pool.append(event)
+                        elif cls is Continuation:
+                            pool = self._cont_pool
+                            if len(pool) < _POOL_MAX:
+                                event._recycle = False
                                 pool.append(event)
                         elif cls is Event:
                             pool = self._event_pool
                             if len(pool) < _POOL_MAX:
+                                event._recycle = False
                                 pool.append(event)
                 self.now = stop_time
                 return None
-            while heap:
-                entry = pop(heap)
+            while nowq or heap:
+                if nowq:
+                    if heap and heap[0] < nowq[0]:
+                        entry = pop(heap)
+                    else:
+                        entry = popleft()
+                else:
+                    entry = pop(heap)
                 self.now = entry[0]
                 event = entry[2]
                 event._resume_waiters()
@@ -622,10 +791,17 @@ class Simulator:
                     if cls is Timeout:
                         pool = self._timeout_pool
                         if len(pool) < _POOL_MAX:
+                            event._recycle = False
+                            pool.append(event)
+                    elif cls is Continuation:
+                        pool = self._cont_pool
+                        if len(pool) < _POOL_MAX:
+                            event._recycle = False
                             pool.append(event)
                     elif cls is Event:
                         pool = self._event_pool
                         if len(pool) < _POOL_MAX:
+                            event._recycle = False
                             pool.append(event)
             return None
         finally:

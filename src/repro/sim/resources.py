@@ -124,7 +124,7 @@ class Resource:
             sim = self.sim
             heap = sim._heap
             now = sim.now
-            if not heap or heap[0][0] > now:
+            if not sim._nowq and (not heap or heap[0][0] > now):
                 req = Request(self, priority)
                 self.busy_time += len(users) * (now - self._last_change)
                 self._last_change = now
@@ -216,7 +216,7 @@ def fused_burst(sim: Simulator, segments) -> Optional[Event]:
     if total <= 0:
         return None
     heap = sim._heap
-    if heap and heap[0][0] <= sim.now + total:
+    if sim._nowq or (heap and heap[0][0] <= sim.now + total):
         return None
     for resource, cycles in segments:
         if resource is not None:
@@ -301,8 +301,9 @@ class Store:
         Unsuitable for stores whose items may legitimately be None.
         """
         if len(self) and not self._getters:
-            heap = self.sim._heap
-            if not heap or heap[0][0] > self.sim.now:
+            sim = self.sim
+            heap = sim._heap
+            if not sim._nowq and (not heap or heap[0][0] > sim.now):
                 return self._next_item()
         return None
 
@@ -313,8 +314,9 @@ class Store:
         fast-path test is made before popping, not on the popped value).
         """
         if len(self) and not self._getters:
-            heap = self.sim._heap
-            if not heap or heap[0][0] > self.sim.now:
+            sim = self.sim
+            heap = sim._heap
+            if not sim._nowq and (not heap or heap[0][0] > sim.now):
                 return self._next_item()
         item = yield self.get()
         return item

@@ -30,8 +30,8 @@ def test_default_archive_is_committed_and_valid():
 
 def test_every_committed_archive_validates():
     paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
-    assert len(paths) >= 3, \
-        "expected the BENCH_pr4/pr5/pr6 trajectory at the repo root"
+    assert len(paths) >= 4, \
+        "expected the BENCH_pr4/pr5/pr6/pr8 trajectory at the repo root"
     for path in paths:
         with open(path) as fh:
             doc = json.load(fh)

@@ -107,6 +107,30 @@ def test_sweep_log_reader_skips_torn_final_line(tmp_path):
         ["_open", "job_finished", "_meta"]
 
 
+def test_sweep_log_carries_monotonic_stamps(tmp_path):
+    # Every record gets both an epoch ts (display) and a perf_counter
+    # mono stamp (duration math); the trailer's duration_seconds is the
+    # monotonic span, so a wall-clock step mid-sweep cannot corrupt it.
+    path = tmp_path / "sweep.jsonl"
+    bus = TelemetryBus()
+    with SweepLogWriter(str(path), bus=bus):
+        bus.publish("job_finished", run="A", wall_seconds=0.1)
+    records = read_sweep_log(str(path))
+    assert all("ts" in r and "mono" in r for r in records)
+    header, trailer = records[0], records[-1]
+    assert trailer["duration_seconds"] == \
+        pytest.approx(trailer["mono"] - header["mono"])
+    assert sweep_log_summary(records)["duration_seconds"] >= 0.0
+
+
+def test_sweep_log_duration_falls_back_to_ts():
+    # Pre-mono logs still summarize: the epoch stamps are the fallback.
+    records = [{"kind": "_open", "ts": 100.0},
+               {"kind": "_meta", "ts": 103.5}]
+    assert telemetry.sweep_log_duration(records) == pytest.approx(3.5)
+    assert telemetry.sweep_log_duration([{"kind": "_open"}]) == 0.0
+
+
 # -- the live renderer -----------------------------------------------------
 
 def test_renderer_tracks_progress_and_replays(tmp_path):

@@ -1,0 +1,166 @@
+"""Property-based invariants of the Event lifecycle under adversarial
+interleavings of ``succeed``/``fail``/``interrupt``.
+
+Hypothesis drives a random program against a small fleet of events
+(pooled and unpooled) and waiter processes, checking the contracts the
+kernel's fast paths rely on:
+
+* ``triggered``/``processed``/``ok`` stay consistent at every
+  observation point -- processed implies triggered, ``ok`` equals
+  "triggered with no exception".
+* ``succeed``/``fail`` may each fire at most once; a second trigger
+  always raises ``RuntimeError``.
+* A waiter detached by ``interrupt`` is never resumed again by the
+  event it abandoned -- each waiter observes exactly one outcome.
+* The free lists stay duplicate-free: no pooled object is recycled
+  twice, whatever the interleaving.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Event, Interrupt, Simulator
+
+N_EVENTS = 4
+N_WAITERS = 4
+
+# One program step: after `delay` cycles, apply `action` to `target`
+# (an event index for succeed/fail, a waiter index for interrupt).
+_op = st.tuples(
+    st.integers(min_value=1, max_value=5),
+    st.sampled_from(["succeed", "fail", "interrupt"]),
+    st.integers(min_value=0, max_value=max(N_EVENTS, N_WAITERS) - 1),
+)
+
+
+def _pools_duplicate_free(sim):
+    for pool in (sim._event_pool, sim._timeout_pool, sim._cont_pool):
+        if len(set(map(id, pool))) != len(pool):
+            return False
+    return True
+
+
+def _observe(log):
+    """An extra callback on every event, asserting state consistency
+    at the exact moment waiters are resumed."""
+    def callback(event):
+        assert event.triggered
+        assert event.processed  # callbacks detached before dispatch
+        assert event.ok == (event._exception is None)
+        log.append(id(event))
+    return callback
+
+
+@given(ops=st.lists(_op, min_size=1, max_size=12),
+       pooled=st.lists(st.booleans(), min_size=N_EVENTS,
+                       max_size=N_EVENTS))
+@settings(max_examples=120, deadline=None)
+def test_event_lifecycle_invariants_under_interleavings(ops, pooled):
+    sim = Simulator()
+    events = [sim.pooled_event() if use_pool else Event(sim)
+              for use_pool in pooled]
+    dispatched = []
+    for event in events:
+        event.callbacks.append(_observe(dispatched))
+
+    outcomes = {}  # waiter index -> list of observed outcomes
+
+    def waiter(idx, event):
+        outcomes[idx] = []
+        try:
+            yield event
+            outcomes[idx].append("ok")
+        except Interrupt:
+            outcomes[idx].append("interrupted")
+            return
+        except RuntimeError:
+            outcomes[idx].append("failed")
+
+    procs = [sim.process(waiter(i, events[i % N_EVENTS]))
+             for i in range(N_WAITERS)]
+
+    def driver():
+        for delay, action, target in ops:
+            yield sim.timeout(delay)
+            if action == "interrupt":
+                proc = procs[target % N_WAITERS]
+                if proc.is_alive and sim._active_process is not proc:
+                    proc.interrupt()
+                continue
+            event = events[target % N_EVENTS]
+            if event.triggered:
+                # At-most-once: re-triggering must always raise.
+                try:
+                    if action == "succeed":
+                        event.succeed("again")
+                    else:
+                        event.fail(RuntimeError("again"))
+                except RuntimeError:
+                    pass
+                else:
+                    raise AssertionError(
+                        "double trigger did not raise RuntimeError")
+            elif action == "succeed":
+                event.succeed(target)
+            else:
+                event.fail(RuntimeError("boom"))
+
+    sim.process(driver())
+    sim.run()
+
+    for idx, seen in outcomes.items():
+        # Exactly one outcome per waiter: a detached (interrupted)
+        # waiter must never also see the event's result, and no waiter
+        # is resumed twice.
+        assert len(seen) <= 1, f"waiter {idx} resumed twice: {seen}"
+        if seen == ["interrupted"]:
+            assert procs[idx].triggered  # returned after the interrupt
+    # Every untriggered event is still pending and consistent.
+    for event, use_pool in zip(events, pooled):
+        if use_pool and id(event) in dispatched:
+            continue  # recycled: the object may have a new life now
+        if not event.triggered:
+            assert not event.ok
+            assert not event.processed
+    assert _pools_duplicate_free(sim)
+
+
+@given(ops=st.lists(_op, min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_interrupted_waiter_never_hears_from_the_abandoned_event(ops):
+    # Focused variant: one waiter, one event, and a schedule that
+    # always interrupts before the event fires.  The waiter's log must
+    # show the interrupt and nothing from the orphaned event.
+    sim = Simulator()
+    event = sim.pooled_event()
+    log = []
+
+    def waiter():
+        try:
+            yield event
+            log.append("event")
+        except Interrupt:
+            log.append("interrupted")
+            yield sim.pooled_timeout(1)
+            log.append("moved-on")
+
+    proc = sim.process(waiter())
+
+    def driver():
+        yield sim.timeout(1)
+        proc.interrupt()
+        total = 1
+        for delay, action, _target in ops:
+            yield sim.timeout(delay)
+            total += delay
+            if action in ("succeed", "fail") and not event.triggered:
+                if action == "succeed":
+                    event.succeed("late")
+                else:
+                    event.fail(RuntimeError("late"))
+
+    sim.process(driver())
+    sim.run()
+    assert log[:2] == ["interrupted", "moved-on"]
+    assert "event" not in log
+    assert _pools_duplicate_free(sim)
