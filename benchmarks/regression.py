@@ -1,13 +1,16 @@
 """Benchmark regression harness: record per-config timing archives.
 
 Runs a fixed matrix of quick app x protocol configurations (see
-:mod:`repro.harness.bench`) and writes a ``repro-bench/1`` JSON archive
-(default ``BENCH_pr8.json``): simulated execution cycles, host
-wall-clock seconds, and the per-category time fractions (busy / data /
-synch / ipc / others, plus the overlapping diff fraction) for each
-configuration.  CI runs this on every push, uploads the archive as an
-artifact, and feeds it to ``repro regress`` against the committed
-``BENCH_*.json`` history.
+:mod:`repro.harness.bench`) plus the scale-out rows (64/256-node Em3d
+across topologies and machine presets; see
+:data:`repro.harness.scale.REGRESSION_SCALE_CELLS`) and writes a
+``repro-bench/1`` JSON archive (default ``BENCH_pr9.json``): simulated
+execution cycles, host wall-clock seconds, the per-category time
+fractions (busy / data / synch / ipc / others, plus the overlapping
+diff fraction), and -- on the scale rows -- events/s, peak RSS, and the
+coherence-metadata footprint for each configuration.  CI runs this on
+every push, uploads the archive as an artifact, and feeds it to
+``repro regress`` against the committed ``BENCH_*.json`` history.
 
 **The committed copy is part of the contract.**  The archive this
 script writes by default must also be checked into the tree -- that is
@@ -32,7 +35,7 @@ original computation.  (Faulted runs never touch the cache.)
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr8.json
+    PYTHONPATH=src python benchmarks/regression.py --out BENCH_pr9.json
     PYTHONPATH=src python benchmarks/regression.py --jobs 4 --no-cache
     PYTHONPATH=src python benchmarks/regression.py --check
     PYTHONPATH=src python benchmarks/regression.py \\
@@ -40,7 +43,7 @@ Usage::
     PYTHONPATH=src python benchmarks/regression.py --procs 4 \\
         --report /tmp/run-report.json   # also save one RunReport v2
 
-Validate the outputs with ``python -m repro validate BENCH_pr8.json``.
+Validate the outputs with ``python -m repro validate BENCH_pr9.json``.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ from repro.harness.bench import (
 from repro.harness.experiments import scaled_app
 from repro.harness.parallel import ResultCache, SweepRunner
 from repro.harness.runner import run_app
+from repro.harness.scale import regression_scale_rows
 from repro.stats.report import RunReport
 
 __all__ = ["CONFIGS", "SCHEMA", "DEFAULT_OUT", "committed_archive_path",
@@ -69,7 +73,7 @@ __all__ = ["CONFIGS", "SCHEMA", "DEFAULT_OUT", "committed_archive_path",
 
 # The archive this harness claims to write -- and therefore the file
 # that must exist, committed, at the repo root.
-DEFAULT_OUT = "BENCH_pr8.json"
+DEFAULT_OUT = "BENCH_pr9.json"
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -174,6 +178,9 @@ def main(argv=None) -> int:
               f"cache={'off' if cache is None else cache.root}")
         rows = run_matrix(procs=args.procs, quick=quick, runner=runner)
         rows.append(fault_overhead_row(procs=args.procs, quick=quick))
+        print("scale rows (64/256-node Em3d across topologies and "
+              "presets):")
+        rows.extend(regression_scale_rows(runner=runner))
         doc = build_archive(rows, runner=runner)
         print(f"cache: {runner.stats.summary()}")
     with open(args.out, "w") as fh:

@@ -25,6 +25,16 @@ Commands
     ``benchmarks/regression.py`` records) and optionally write the
     ``repro-bench/1`` archive.
 
+``scale``
+    Scale-out sweep: re-ask the paper's sensitivity questions at
+    64-1024 nodes across topologies (mesh, torus, fattree, dragonfly)
+    and machine presets (paper1996, rdma, pio).  Rows carry events/s,
+    peak RSS, and the coherence-metadata footprint (compact vs what the
+    dict representation would cost); ``--out FILE`` writes them as a
+    ``repro-bench/1`` archive, ``--audit`` additionally runs the
+    largest configuration under the coherence-state sanitizer (exits
+    nonzero on violations).
+
 ``profile APP``
     Self-profile one simulation: report kernel events processed,
     wall seconds, and events/sec from profiler-free timed runs, then a
@@ -109,6 +119,8 @@ Examples::
     python -m repro figure 13 --quick --jobs 4
     python -m repro figure 5 --app Ocean
     python -m repro bench --out BENCH_pr4.json --jobs 2
+    python -m repro scale --nodes 64 256 --topologies mesh torus
+    python -m repro scale --nodes 1024 --protocols aurc --audit
     python -m repro run Em3d --protocol I+P+D --quick --procs 4 \\
         --fault-seed 1
     python -m repro chaos --seeds 3 --quick --report chaos.json
@@ -260,6 +272,44 @@ def _build_parser() -> argparse.ArgumentParser:
                               "the quick sizes CI uses)")
     _add_sweep_flags(bench_p, default_jobs=os.cpu_count() or 1)
     _add_telemetry_flags(bench_p)
+
+    from repro.hardware.params import PRESETS
+    from repro.hardware.topology import TOPOLOGIES
+    from repro.harness.scale import SCALE_SIZES
+
+    scale_p = sub.add_parser(
+        "scale",
+        help="scale-out sweep across node counts, topologies, and "
+             "machine presets")
+    scale_p.add_argument("--nodes", type=int, nargs="+", default=None,
+                         metavar="N",
+                         help="node counts to sweep (default: 64 256; "
+                              "1024 is the supported smoke point)")
+    scale_p.add_argument("--protocols", nargs="+", default=None,
+                         metavar="PROTO",
+                         help="protocols to sweep "
+                              "(default: I+D I+P+D aurc)")
+    scale_p.add_argument("--topologies", nargs="+",
+                         choices=list(TOPOLOGIES), default=["mesh"],
+                         help="interconnect topologies "
+                              "(default: mesh)")
+    scale_p.add_argument("--presets", nargs="+",
+                         choices=sorted(PRESETS), default=["paper1996"],
+                         help="machine parameter presets "
+                              "(default: paper1996)")
+    scale_p.add_argument("--app", default="Em3d",
+                         choices=sorted(SCALE_SIZES),
+                         help="application to sweep (default: Em3d)")
+    scale_p.add_argument("--audit", action="store_true",
+                         help="also run the largest configuration "
+                              "under the coherence-state sanitizer "
+                              "(bypasses the cache; exits nonzero on "
+                              "violations)")
+    scale_p.add_argument("--out", metavar="FILE", default=None,
+                         help="write the rows as a repro-bench/1 "
+                              "archive to FILE")
+    _add_sweep_flags(scale_p, default_jobs=os.cpu_count() or 1)
+    _add_telemetry_flags(scale_p)
 
     prof_p = sub.add_parser(
         "profile",
@@ -802,6 +852,55 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    from repro.harness.bench import build_archive
+    from repro.harness.scale import (
+        SCALE_NODE_COUNTS,
+        SCALE_PROTOCOLS,
+        audit_scale_run,
+        scale_matrix,
+    )
+
+    runner = _make_runner(args)
+    nodes = tuple(args.nodes) if args.nodes else SCALE_NODE_COUNTS
+    protocols = (tuple(args.protocols) if args.protocols
+                 else SCALE_PROTOCOLS)
+    print(f"scale sweep: {args.app} x {list(protocols)} on "
+          f"{list(nodes)} nodes, topologies {args.topologies}, "
+          f"presets {args.presets}")
+    rows = scale_matrix(node_counts=nodes, protocols=protocols,
+                        topologies=tuple(args.topologies),
+                        presets=tuple(args.presets),
+                        app_name=args.app, runner=runner)
+    print(f"[{runner.stats.summary()}]")
+    if args.out is not None:
+        doc = build_archive(rows, runner=runner,
+                            generated_by="repro scale")
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"archive -> {args.out}")
+    if args.audit:
+        n = max(nodes)
+        topo = args.topologies[0]
+        preset = args.presets[0]
+        proto = "I+P+D" if "I+P+D" in protocols else protocols[0]
+        print(f"audit: {args.app}/{proto} at {n} nodes "
+              f"({topo}, {preset}) under the sanitizer...")
+        result = audit_scale_run(n, protocol=proto, topology=topo,
+                                 preset=preset, app_name=args.app)
+        print(result.audit.format_summary())
+        if not result.audit.ok:
+            print("AUDIT FAILURE: coherence-invariant violations "
+                  "detected", file=sys.stderr)
+            return 1
+        if not result.verified:
+            print("VERIFY FAILURE: audited run failed result "
+                  "verification", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.faults import FaultPlan
     from repro.harness.chaos import (
@@ -1130,9 +1229,9 @@ def main(argv=None) -> int:
         return _cmd_analyze(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
-    if args.command in ("figure", "bench", "chaos"):
+    if args.command in ("figure", "bench", "chaos", "scale"):
         handler = {"figure": _cmd_figure, "bench": _cmd_bench,
-                   "chaos": _cmd_chaos}[args.command]
+                   "chaos": _cmd_chaos, "scale": _cmd_scale}[args.command]
         with _telemetry_sinks(args):
             return handler(args)
     if args.command == "watch":

@@ -39,12 +39,14 @@ messages) is simulated mechanistically.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dsm.barriers import BarrierService
+from repro.dsm.compact import NodeIntMap
 from repro.dsm.locks import LockService
 from repro.dsm.prefetch import PrefetchStats, note_prefetch
 from repro.dsm.protocol import (
@@ -72,13 +74,14 @@ PAIRWISE = "pairwise"
 HOME = "home"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AurcIntervalRecord:
     """An interval record carrying AURC flush stamps.
 
     ``stamps`` maps page -> (dst, seq): the destination of that page's
     automatic updates during the interval and the last update sequence
-    number, i.e. the flush timestamp a reader must wait for.
+    number, i.e. the flush timestamp a reader must wait for.  Slotted:
+    large machines hold hundreds of thousands of these.
     """
 
     writer: int
@@ -120,9 +123,13 @@ class AurcPage:
         # same guarded-emission contract as TmPage.
         self.audit = audit
         self.frame: Optional[np.ndarray] = None
-        self.notified: Dict[int, int] = {}
-        self.applied: Dict[int, int] = {}
+        # Per-writer interval watermarks, compact (see TmPage: iteration
+        # order must match the dicts these replaced bit-for-bit).
+        self.notified = NodeIntMap()
+        self.applied = NodeIntMap()
         # writer -> (interval_id, dst, seq) of the newest pending notice.
+        # Stays a real dict: entries are deleted as stamps are covered,
+        # so it self-prunes to the handful of in-flight writers.
         self.pending_stamps: Dict[int, Tuple[int, int, int]] = {}
         self.partner: Optional[int] = None
         self.referenced = False
@@ -165,16 +172,60 @@ class AurcPage:
                 self.audit.applied_through(self.page, writer, through_id)
 
     def applied_snapshot(self) -> Dict[int, int]:
-        return dict(self.applied)
+        return self.applied.as_dict()
+
+    def state_nbytes(self) -> int:
+        """Bytes of coherence metadata (excludes the data frame)."""
+        return (self.applied.nbytes() + self.notified.nbytes()
+                + sys.getsizeof(self.pending_stamps))
+
+    def state_dict_equiv_nbytes(self) -> int:
+        return (self.applied.dict_equiv_nbytes()
+                + self.notified.dict_equiv_nbytes()
+                + sys.getsizeof(self.pending_stamps))
 
 
-@dataclass
 class _PageDirectory:
-    """Global sharing metadata for one page (conceptually at the home)."""
+    """Global sharing metadata for one page (conceptually at the home).
 
-    mode: str = SOLO
-    sharers: List[int] = field(default_factory=list)
-    replaced_once: bool = False  # the pair may be reshuffled only once
+    Membership lives in ``mask``, an int bitset (one word per 64 nodes).
+    ``sharers`` keeps the insertion-ordered member list the SOLO /
+    PAIRWISE transitions need (first-toucher authority, ``a, b = pair``,
+    replace-once ``pop(0)``); once a page reverts to HOME the list is
+    frozen and later joiners set only their mask bit -- in HOME mode
+    every ordered query routes to the home, so only membership and the
+    sharer count (``mask.bit_count()``) are ever consulted.
+    """
+
+    __slots__ = ("mode", "mask", "sharers", "replaced_once")
+
+    def __init__(self):
+        self.mode = SOLO
+        self.mask = 0
+        self.sharers: List[int] = []
+        self.replaced_once = False  # the pair may be reshuffled only once
+
+    def __contains__(self, pid: int) -> bool:
+        return (self.mask >> pid) & 1 == 1
+
+    @property
+    def count(self) -> int:
+        return self.mask.bit_count()
+
+    def add(self, pid: int) -> None:
+        if (self.mask >> pid) & 1:
+            return
+        self.mask |= 1 << pid
+        if self.mode != HOME:
+            self.sharers.append(pid)
+
+    def discard(self, pid: int) -> None:
+        self.mask &= ~(1 << pid)
+        self.sharers.remove(pid)
+
+    def nbytes(self) -> int:
+        return (object.__sizeof__(self) + sys.getsizeof(self.mask)
+                + sys.getsizeof(self.sharers))
 
 
 class NodeAurcState:
@@ -252,7 +303,7 @@ class Aurc(DsmProtocol):
         """Guarded directory-consistency emission (mode vs sharers)."""
         if self.audit is not None:
             self.audit.aurc_directory(self.page_home(page), page,
-                                      entry.mode, len(entry.sharers))
+                                      entry.mode, entry.count)
 
     def _join_sharing(self, pid: int, page: int) -> int:
         """Register ``pid`` as a sharer; returns the fetch authority.
@@ -260,11 +311,11 @@ class Aurc(DsmProtocol):
         Drives the SOLO -> PAIRWISE -> (replace) -> HOME transitions.
         """
         entry = self._dir(page)
-        if pid in entry.sharers:
+        if pid in entry:
             return self._authority(pid, page)
         previous = list(entry.sharers)
-        entry.sharers.append(pid)
-        count = len(entry.sharers)
+        entry.add(pid)
+        count = entry.count
         if count == 1:
             entry.mode = SOLO
             self._audit_dir(page, entry)
@@ -288,7 +339,8 @@ class Aurc(DsmProtocol):
             # The third sharer replaces the first in the pair (once).
             self.stats.pair_replacements += 1
             entry.replaced_once = True
-            replaced = entry.sharers.pop(0)
+            replaced = entry.sharers[0]
+            entry.discard(replaced)
             self._unpair(replaced, page)
             a, b = entry.sharers
             self._pair(a, b, page)
@@ -353,8 +405,8 @@ class Aurc(DsmProtocol):
                 home_page.mark_applied(writer, through)
         else:
             home_page.ensure_frame()
-        if home not in entry.sharers:
-            entry.sharers.append(home)
+        if home not in entry:
+            entry.add(home)
 
     def _authority(self, pid: int, page: int) -> int:
         """Who serves page copies to ``pid`` right now."""
@@ -876,3 +928,21 @@ class Aurc(DsmProtocol):
     def total_update_traffic_bytes(self) -> int:
         return sum(node.nic.au_engine.update_bytes
                    for node in self.cluster.nodes)
+
+    def coherence_state_report(self) -> Dict[str, int]:
+        """Bytes of live coherence metadata vs the pre-compaction dict
+        representation (for the scale sweeps' memory accounting)."""
+        compact = 0
+        dict_equiv = 0
+        pages = 0
+        for st in self.states:
+            pages += len(st.pages)
+            for ap in st.pages.values():
+                compact += ap.state_nbytes()
+                dict_equiv += ap.state_dict_equiv_nbytes()
+        for entry in self.directory.values():
+            compact += entry.nbytes()
+            dict_equiv += entry.nbytes()
+        return {"coherence_state_bytes": compact,
+                "coherence_state_dict_bytes": dict_equiv,
+                "coherence_pages": pages}

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.dsm.compact import NodeIntMap
 from repro.dsm.diffs import DiffRecord, apply_diff, diff_from_mask
 
 __all__ = ["TmPage"]
@@ -47,8 +48,11 @@ class TmPage:
         # attribute check per transition -- the sim.tracer idiom.
         self.audit = audit
         self.frame: Optional[np.ndarray] = None
-        self.applied: Dict[int, int] = {}
-        self.notified: Dict[int, int] = {}
+        # Per-writer interval watermarks: insertion-ordered compact maps
+        # (pending_writers() order = notice arrival order = diff-request
+        # issue order, which the golden cycle fixtures pin).
+        self.applied = NodeIntMap()
+        self.notified = NodeIntMap()
         # -- write collection (this node as writer) -----------------------
         self.write_active = False      # twin made / bit vector armed
         self.has_twin = False
@@ -70,8 +74,9 @@ class TmPage:
         # Nodes that fetched this page or its diffs from us, mapped to
         # the newest of our intervals they were served: the approximate
         # copyset (and per-reader watermark) the Lazy Hybrid variant
-        # consults before piggybacking updates on lock grants.
-        self.copyset = {}
+        # consults before piggybacking updates on lock grants.  The
+        # bitset-backed map keeps membership O(1) at 1024 nodes.
+        self.copyset = NodeIntMap()
 
     # -- validity ------------------------------------------------------------
 
@@ -113,7 +118,7 @@ class TmPage:
 
     def applied_snapshot(self) -> Dict[int, int]:
         """Watermarks describing this frame's contents (for page copies)."""
-        return dict(self.applied)
+        return self.applied.as_dict()
 
     def adopt_snapshot(self, snapshot: Dict[int, int]) -> None:
         if self.audit is not None:
@@ -212,3 +217,18 @@ class TmPage:
         else:
             apply_diff(frame, diff)
         self.mark_applied(diff.writer, diff.to_id)
+
+    # -- memory accounting ----------------------------------------------------
+
+    def state_nbytes(self) -> int:
+        """Bytes of per-node coherence metadata on this page (excludes
+        the data frame and diff payloads -- those scale with the app,
+        not the machine size)."""
+        return (self.applied.nbytes() + self.notified.nbytes()
+                + self.copyset.nbytes())
+
+    def state_dict_equiv_nbytes(self) -> int:
+        """Bytes the pre-compaction dict representation would cost."""
+        return (self.applied.dict_equiv_nbytes()
+                + self.notified.dict_equiv_nbytes()
+                + self.copyset.dict_equiv_nbytes())

@@ -68,13 +68,14 @@ class VectorClock:
         return f"VectorClock({self._clock})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntervalRecord:
     """One completed interval: who, which interval, which pages written.
 
     ``vc`` is the writer's vector clock at the moment the interval
     closed; it stamps the interval's position in the happens-before
     partial order and is what orders diff application across writers.
+    Slotted: large machines hold hundreds of thousands of these.
     """
 
     writer: int

@@ -970,3 +970,18 @@ class TreadMarks(DsmProtocol):
         processor = sum(node.cpu.breakdown.diff_cycles
                         for node in self.cluster.nodes)
         return processor + sum(self.controller_diff_cycles)
+
+    def coherence_state_report(self) -> Dict[str, int]:
+        """Bytes of live coherence metadata vs the pre-compaction dict
+        representation (for the scale sweeps' memory accounting)."""
+        compact = 0
+        dict_equiv = 0
+        pages = 0
+        for st in self.states:
+            pages += len(st.pages)
+            for tp in st.pages.values():
+                compact += tp.state_nbytes()
+                dict_equiv += tp.state_dict_equiv_nbytes()
+        return {"coherence_state_bytes": compact,
+                "coherence_state_dict_bytes": dict_equiv,
+                "coherence_pages": pages}

@@ -1,10 +1,21 @@
-"""Wormhole-routed 2D mesh interconnect (paper section 4.1).
+"""Wormhole-routed interconnect (paper section 4.1) over pluggable
+topologies.
 
-Topology: an N x N mesh (4 x 4 for the default 16 nodes) with
-bidirectional links modeled as a pair of directed
-:class:`~repro.sim.Resource` channels.  Routing is dimension-ordered
-(XY), which keeps the channel-dependency graph acyclic so the
-hold-while-advancing acquisition below cannot deadlock.
+The default topology is the paper's N x N mesh (4 x 4 for the default
+16 nodes) with bidirectional links modeled as a pair of directed
+:class:`~repro.sim.Resource` channels and dimension-ordered (XY)
+routing, which keeps the channel-dependency graph acyclic so the
+hold-while-advancing acquisition below cannot deadlock.  Geometry and
+routing live in :mod:`repro.hardware.topology` strategy objects
+(``params.topology`` selects mesh/torus/fattree/dragonfly); every
+topology's channel-dependency graph is likewise acyclic (dateline or
+local/remote virtual channels where rings demand them).
+
+Routes are computed in O(path length) per transfer.  A small (src, dst)
+memo is retained only for machines of <= 64 nodes, where it is a few
+thousand short lists; at 256-1024 nodes the old unbounded memo was an
+O(N^2) memory hog that dominated the footprint before coherence state
+could be measured, so large machines always recompute.
 
 A transfer acquires the links of its route in order (the worm's head
 blocks on a busy link while holding the links behind it), then pays
@@ -25,9 +36,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.hardware.params import MachineParams
+from repro.hardware.topology import make_topology
 from repro.sim import Resource, Simulator
 
-__all__ = ["MeshNetwork", "NetworkStats"]
+__all__ = ["MeshNetwork", "NetworkStats", "ROUTE_MEMO_MAX_NODES"]
+
+# Machines up to this many nodes keep a (src, dst) -> route memo; larger
+# machines recompute every route in O(path) to keep memory flat in N.
+ROUTE_MEMO_MAX_NODES = 64
 
 
 class _TransferFlight:
@@ -116,33 +132,40 @@ class NetworkStats:
 class MeshNetwork:
     """The mesh: route computation, link resources, and transfer timing."""
 
-    def __init__(self, sim: Simulator, params: MachineParams):
+    def __init__(self, sim: Simulator, params: MachineParams,
+                 topology=None):
         self.sim = sim
         self.params = params
-        self.width = params.mesh_width
-        self.height = params.mesh_height
+        self.topology = topology if topology is not None \
+            else make_topology(params)
         self.n_nodes = params.n_processors
+        # Mesh-family geometry helpers keep working on every topology
+        # (row-major width x height layout of the *node* ids).
+        self.width = getattr(self.topology, "width", params.mesh_width)
+        self.height = getattr(self.topology, "height", params.mesh_height)
         self.stats = NetworkStats()
         # Fault hook: a FaultPlan when link latency spikes are armed
         # (set by FaultPlan.install), else None -- the transfer fast
         # path pays one None-check.
         self.faults = None
-        # Static XY routes, filled lazily by route().
-        self._routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # Route memo, bounded: None on large machines (always recompute)
+        # so route-cache memory cannot grow O(N^2) with node count.
+        self._routes: Dict[Tuple[int, int], List[tuple]] | None = \
+            {} if self.n_nodes <= ROUTE_MEMO_MAX_NODES else None
         # Per-hop head latency, precomputed for the transfer fast path.
         self._head_per_hop = (params.switch_latency_cycles
                               + params.wire_latency_cycles)
-        # Directed links keyed by (from_node, to_node).
-        self._links: Dict[Tuple[int, int], Resource] = {}
-        for node in range(self.n_nodes):
-            x, y = self.coords(node)
-            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                nx, ny = x + dx, y + dy
-                if 0 <= nx < self.width and 0 <= ny < self.height:
-                    peer = self.node_at(nx, ny)
-                    if peer < self.n_nodes:
-                        self._links[(node, peer)] = Resource(
-                            sim, capacity=1, name=f"link{node}->{peer}")
+        # Directed channels keyed by the topology's channel keys --
+        # (from, to) on the mesh, (from, to, vc) where virtual channels
+        # exist.  Creation order follows Topology.links() exactly (the
+        # golden fixtures pin the historical mesh order).
+        self._links: Dict[tuple, Resource] = {}
+        for key in self.topology.links():
+            if key in self._links:
+                continue
+            label = f"link{key[0]}->{key[1]}" if len(key) == 2 else \
+                f"link{key[0]}->{key[1]}.vc{key[2]}"
+            self._links[key] = Resource(sim, capacity=1, name=label)
 
     # -- topology helpers ---------------------------------------------------
 
@@ -152,41 +175,27 @@ class MeshNetwork:
     def node_at(self, x: int, y: int) -> int:
         return y * self.width + x
 
-    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """XY (x first, then y) dimension-ordered route as directed links.
+    def route(self, src: int, dst: int) -> List[tuple]:
+        """Directed channel keys from src to dst (topology-defined).
 
-        Routes are static, so computed once per (src, dst) and cached;
-        callers must not mutate the returned list.
+        Routes are static; small machines memoize per (src, dst), large
+        machines recompute in O(path) -- callers must not mutate the
+        returned list either way.
         """
-        cached = self._routes.get((src, dst))
+        routes = self._routes
+        if routes is None:
+            return self.topology.compute_route(src, dst)
+        cached = routes.get((src, dst))
         if cached is not None:
             return cached
-        links = self._routes[(src, dst)] = self._compute_route(src, dst)
+        links = routes[(src, dst)] = self.topology.compute_route(src, dst)
         return links
 
-    def _compute_route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        if src == dst:
-            return []
-        links = []
-        x, y = self.coords(src)
-        dx, dy = self.coords(dst)
-        here = src
-        while x != dx:
-            x += 1 if dx > x else -1
-            nxt = self.node_at(x, y)
-            links.append((here, nxt))
-            here = nxt
-        while y != dy:
-            y += 1 if dy > y else -1
-            nxt = self.node_at(x, y)
-            links.append((here, nxt))
-            here = nxt
-        return links
+    def _compute_route(self, src: int, dst: int) -> List[tuple]:
+        return self.topology.compute_route(src, dst)
 
     def hops(self, src: int, dst: int) -> int:
-        x, y = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(x - dx) + abs(y - dy)
+        return self.topology.hops(src, dst)
 
     def iter_links(self):
         """Iterate ``((src, dst), Resource)`` over every directed link."""

@@ -20,7 +20,9 @@ import dataclasses
 import math
 from dataclasses import dataclass
 
-__all__ = ["MachineParams", "CYCLE_NS"]
+from repro.hardware.topology import TOPOLOGIES, square_factor
+
+__all__ = ["MachineParams", "CYCLE_NS", "PRESETS"]
 
 # One processor cycle is 10 ns (100 MHz), per Table 1's caption.
 CYCLE_NS = 10.0
@@ -39,6 +41,17 @@ class MachineParams:
     n_processors: int = 16
     page_size_bytes: int = 4096
     word_bytes: int = 4
+
+    # -- interconnect topology ---------------------------------------------
+    # One of repro.hardware.topology.TOPOLOGIES.  "mesh" is the paper's
+    # dimension-ordered 2D mesh; "torus"/"fattree"/"dragonfly" are the
+    # scale-out fabrics.  Geometry is validated at construction so a bad
+    # node count fails here with a clear error, not mid-route.
+    topology: str = "mesh"
+    # Fat-tree leaves per edge switch; 0 derives the most-square split.
+    fattree_arity: int = 0
+    # Dragonfly nodes per group; 0 derives the most-square split.
+    dragonfly_group_size: int = 0
 
     # -- TLB ----------------------------------------------------------------
     tlb_entries: int = 128
@@ -110,6 +123,40 @@ class MachineParams:
             raise ValueError("cache line must be a whole number of words")
         if self.n_processors < 1:
             raise ValueError("need at least one processor")
+        self._validate_geometry()
+
+    def _validate_geometry(self) -> None:
+        """Fail fast on topology/node-count mismatches (clear ValueError
+        at construction, never deep inside a route computation)."""
+        n = self.n_processors
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{TOPOLOGIES}")
+        if self.topology in ("mesh", "torus"):
+            if n > 4 and square_factor(n) == 1:
+                raise ValueError(
+                    f"n_processors={n} is prime and cannot form a 2D "
+                    f"{self.topology} (only a degenerate 1x{n} ribbon); "
+                    f"pick a composite node count or a fattree/dragonfly "
+                    f"topology")
+        elif self.topology == "fattree":
+            if self.fattree_arity < 0:
+                raise ValueError("fattree_arity must be >= 0 (0 = auto)")
+            arity = self.fattree_arity or square_factor(n)
+            if n % arity:
+                raise ValueError(
+                    f"fat-tree needs n_processors divisible by arity "
+                    f"({n} % {arity} != 0)")
+        elif self.topology == "dragonfly":
+            if self.dragonfly_group_size < 0:
+                raise ValueError(
+                    "dragonfly_group_size must be >= 0 (0 = auto)")
+            gs = self.dragonfly_group_size or square_factor(n)
+            if n % gs:
+                raise ValueError(
+                    f"dragonfly needs n_processors divisible by group "
+                    f"size ({n} % {gs} != 0)")
 
     # -- derived quantities -----------------------------------------------
 
@@ -244,3 +291,61 @@ class MachineParams:
         """Figure 13 variant: updates pay full messaging overhead."""
         return self.replace(
             aurc_update_overhead_cycles=self.messaging_overhead_cycles)
+
+    # -- fabric presets ------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "MachineParams":
+        """Named machine preset with per-call overrides.
+
+        ``preset("rdma", n_processors=64, topology="fattree")`` is the
+        scale-sweep entry point: it answers the ROADMAP question of
+        whether the paper's protocol ranking survives modern
+        latency/bandwidth ratios.
+        """
+        try:
+            base = PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine preset {name!r}; expected one of "
+                f"{tuple(PRESETS)}") from None
+        return cls(**{**base, **overrides})
+
+
+# Machine presets, all in 10-ns processor cycles.
+#
+# * ``paper1996`` -- Table 1 exactly (the dataclass defaults).
+# * ``rdma``      -- a user-level NIC on a modern switched fabric:
+#   kernel-bypass send/receive (~0.6 us one-way), ~25 GB/s links with
+#   cut-through switches, and a fast coherent I/O bus.  Follows the
+#   "User-level DSM for modern interconnects" direction in PAPERS.md.
+# * ``pio``       -- coherent-interconnect programmed I/O: protocol
+#   messages are stores into a remote-mapped window, so the per-message
+#   setup nearly vanishes while per-byte cost stays visible -- the
+#   regime where fine-grained loads/stores beat DMA for small payloads
+#   ("Rethinking Programmed I/O", PAPERS.md).
+PRESETS = {
+    "paper1996": {},
+    "rdma": {
+        "messaging_overhead_cycles": 60,
+        "interrupt_cycles": 100,
+        "switch_latency_cycles": 1,
+        "wire_latency_cycles": 1,
+        "net_cycles_per_byte": 0.004,  # ~25 GB/s per link
+        "pci_setup_cycles": 5,
+        "pci_cycles_per_word": 0.5,
+        "memory_setup_cycles": 5,
+        "memory_cycles_per_word": 0.5,
+    },
+    "pio": {
+        "messaging_overhead_cycles": 10,
+        "interrupt_cycles": 50,
+        "switch_latency_cycles": 1,
+        "wire_latency_cycles": 1,
+        "net_cycles_per_byte": 0.01,  # ~10 GB/s per link
+        "pci_setup_cycles": 1,
+        "pci_cycles_per_word": 1.0,
+        "controller_command_issue_cycles": 5,
+        "message_handler_cycles": 20,
+    },
+}

@@ -181,6 +181,15 @@ def execute_request(request: SimRequest) -> dict:
                        request.config, result)
     doc = result.to_json()
     doc["wall_seconds"] = wall
+    # Process-lifetime peak RSS, captured here so it survives caching.
+    # Caveat: in a reused pool worker the high-water mark may belong to
+    # an earlier, larger simulation run by the same process.
+    try:
+        import resource
+        doc["peak_rss_kb"] = \
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):  # non-POSIX host: omit the field
+        pass
     return doc
 
 

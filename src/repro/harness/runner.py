@@ -86,6 +86,9 @@ class RunResult:
     fault_stats: object = None       # FaultPlan summary when faults ran
     final_memory: object = None      # ndarray when snapshot_memory=True
     audit: object = None             # CoherenceAuditor when audit=True
+    # End-of-run coherence-metadata footprint (compact bytes, dict-
+    # equivalent bytes, page count) -- the scale sweeps' memory metric.
+    coherence_state: Optional[dict] = None
 
     @property
     def merged_breakdown(self) -> TimeBreakdown:
@@ -130,6 +133,8 @@ class RunResult:
                 "events": self.audit.events,
                 "violations": self.audit.violation_count,
             }
+        if self.coherence_state is not None:
+            doc["coherence_state"] = dict(self.coherence_state)
         if dataclasses.is_dataclass(self.protocol_stats):
             counters = dataclasses.asdict(self.protocol_stats)
             prefetch = counters.pop("prefetch", None)
@@ -319,6 +324,7 @@ def run_app(app, config: ProtocolConfig,
         events_processed=events_processed,
         wall_seconds=wall_seconds,
         audit=auditor,
+        coherence_state=protocol.coherence_state_report(),
     )
 
     if verify:

@@ -50,10 +50,23 @@ EVPS_REL_FLOOR = 0.30
 
 
 def row_key(row: Dict[str, Any]) -> str:
-    """Stable identity of one archive row across archives."""
+    """Stable identity of one archive row across archives.
+
+    Scale-sweep rows additionally carry topology/preset coordinates;
+    they join the key only when they differ from the historical default
+    (plain mesh, paper parameters), so every pre-scale archive keeps its
+    original keys.
+    """
     sizes = "quick" if row.get("quick", True) else "full"
-    return (f"{row.get('app', '?')}/{row.get('protocol', '?')}/"
-            f"{row.get('n_procs', '?')}p/{sizes}")
+    key = (f"{row.get('app', '?')}/{row.get('protocol', '?')}/"
+           f"{row.get('n_procs', '?')}p/{sizes}")
+    topology = row.get("topology", "mesh")
+    if topology != "mesh":
+        key += f"/{topology}"
+    preset = row.get("preset", "paper1996")
+    if preset != "paper1996":
+        key += f"/{preset}"
+    return key
 
 
 def load_archive(path: str) -> Dict[str, Any]:

@@ -1,4 +1,4 @@
-"""Property-based tests for mesh routing and timestamp algebra."""
+"""Property-based tests for interconnect routing and timestamp algebra."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 from repro.dsm.timestamps import IntervalLog, IntervalRecord, VectorClock
 from repro.hardware.network import MeshNetwork
 from repro.hardware.params import MachineParams
+from repro.hardware.topology import TOPOLOGIES, make_topology
 from repro.sim import Simulator
 
 _PROC_COUNTS = [1, 2, 3, 4, 6, 8, 9, 12, 15, 16, 25]
@@ -47,6 +48,79 @@ def test_mesh_is_strongly_connected(n):
         for dst in range(n):
             route = net.route(src, dst)
             assert (len(route) == 0) == (src == dst)
+
+
+# -- all topologies: routing invariants --------------------------------------
+#
+# Channel keys are (from, to) pairs on the mesh and (from, to, vc)
+# triples on VC-split topologies; these helpers treat both uniformly.
+
+def _endpoints(key):
+    return key[0], key[1]
+
+
+@given(topo=st.sampled_from(TOPOLOGIES),
+       n=st.sampled_from(_PROC_COUNTS),
+       src=st.integers(0, 24), dst=st.integers(0, 24))
+@settings(max_examples=120, deadline=None)
+def test_topology_routes_connect_over_existing_links(topo, n, src, dst):
+    src, dst = src % n, dst % n
+    net = MeshNetwork(Simulator(),
+                      MachineParams(n_processors=n, topology=topo))
+    route = net.route(src, dst)
+    assert len(route) == net.hops(src, dst)
+    assert len(route) <= net.topology.diameter()
+    assert (len(route) == 0) == (src == dst)
+    visited = set()
+    here = src
+    for key in route:
+        a, b = _endpoints(key)
+        assert a == here
+        assert key in net._links  # a real Resource backs every hop
+        assert b not in visited   # routes never revisit a vertex
+        visited.add(a)
+        here = b
+    assert here == dst
+
+
+@given(topo=st.sampled_from(TOPOLOGIES), n=st.sampled_from(_PROC_COUNTS))
+@settings(max_examples=30, deadline=None)
+def test_topology_channel_dependency_graph_is_acyclic(topo, n):
+    """Deadlock safety: wormhole worms hold channels while acquiring the
+    next one, so a cycle in the channel dependency graph (channel ->
+    possible next channel, over all minimal routes) would allow
+    deadlock.  XY meshes, dateline-VC tori, up-down fat-trees, and
+    VC-split dragonflies must all come out acyclic."""
+    topology = make_topology(
+        MachineParams(n_processors=n, topology=topo))
+    deps = {}
+    for src in range(n):
+        for dst in range(n):
+            route = topology.compute_route(src, dst)
+            for c1, c2 in zip(route, route[1:]):
+                deps.setdefault(c1, set()).add(c2)
+    # Iterative DFS three-color cycle detection.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {c: WHITE for c in deps}
+    for start in deps:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(deps.get(start, ())))]
+        color[start] = GRAY
+        while stack:
+            node, children = stack[-1]
+            for child in children:
+                state = color.get(child, WHITE)
+                assert state != GRAY, (
+                    f"channel dependency cycle through {child} on "
+                    f"{topo} n={n}")
+                if state == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, iter(deps.get(child, ()))))
+                    break
+            else:
+                color[node] = BLACK
+                stack.pop()
 
 
 # -- vector clocks -----------------------------------------------------------

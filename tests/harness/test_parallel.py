@@ -35,6 +35,9 @@ def _em3d(nprocs=2, config=None, params=None, verify=False):
 def _strip_wall(doc):
     doc = dict(doc)
     doc.pop("wall_seconds", None)
+    # Process-lifetime max RSS legitimately differs between serial,
+    # pooled, and cache-replay executions of the same simulation.
+    doc.pop("peak_rss_kb", None)
     return doc
 
 

@@ -1,0 +1,102 @@
+"""Scale-sweep harness: sizes, row shaping, and archive row keys."""
+
+import pytest
+
+from repro.harness.scale import (
+    REGRESSION_SCALE_CELLS,
+    SCALE_PROTOCOLS,
+    SCALE_SIZES,
+    _row,
+    scale_request,
+    scale_sizes,
+)
+from repro.hardware.params import PRESETS
+from repro.hardware.topology import TOPOLOGIES
+from repro.stats.baseline import row_key
+
+
+def test_scale_sizes_fallback_to_nearest_smaller():
+    assert scale_sizes("Em3d", 64) == SCALE_SIZES["Em3d"][64]
+    assert scale_sizes("Em3d", 128) == SCALE_SIZES["Em3d"][64]
+    assert scale_sizes("Em3d", 256) == SCALE_SIZES["Em3d"][256]
+    assert scale_sizes("Em3d", 512) == SCALE_SIZES["Em3d"][256]
+    # Below the smallest configured count: use the smallest entry.
+    assert scale_sizes("Em3d", 16) == SCALE_SIZES["Em3d"][64]
+    # Always a copy, never the table entry itself.
+    assert scale_sizes("Em3d", 64) is not SCALE_SIZES["Em3d"][64]
+
+
+def test_scale_request_carries_preset_and_topology():
+    req = scale_request("Em3d", 64, "I+D", topology="torus",
+                        preset="rdma")
+    assert req.nprocs == 64
+    assert req.params.topology == "torus"
+    assert req.params.messaging_overhead_cycles == \
+        PRESETS["rdma"]["messaging_overhead_cycles"]
+
+
+def test_regression_cells_are_well_formed():
+    assert len(REGRESSION_SCALE_CELLS) == \
+        len(set(REGRESSION_SCALE_CELLS))
+    for n, proto, topo, preset in REGRESSION_SCALE_CELLS:
+        assert n in (64, 256)
+        assert topo in TOPOLOGIES
+        assert preset in PRESETS
+        # Every cell must build a valid request (geometry validates at
+        # params construction).
+        scale_request("Em3d", n, proto, topology=topo, preset=preset)
+    # Coverage floor: both node counts, a non-mesh topology, a
+    # non-paper preset, and every scale protocol appear somewhere.
+    assert {c[0] for c in REGRESSION_SCALE_CELLS} == {64, 256}
+    assert any(c[2] != "mesh" for c in REGRESSION_SCALE_CELLS)
+    assert any(c[3] != "paper1996" for c in REGRESSION_SCALE_CELLS)
+    assert set(SCALE_PROTOCOLS) <= {c[1] for c in REGRESSION_SCALE_CELLS}
+
+
+def _fake_doc():
+    return {
+        "protocol": "TM/I+P+D",
+        "execution_cycles": 1000,
+        "wall_seconds": 2.0,
+        "events_processed": 500,
+        "verified": True,
+        "breakdown": {"busy": 3.0, "data": 1.0},
+        "diff_fraction": 0.1,
+        "peak_rss_kb": 4096,
+        "coherence_state": {
+            "coherence_state_bytes": 6400,
+            "coherence_state_dict_bytes": 64000,
+            "coherence_pages": 10,
+        },
+    }
+
+
+def test_row_shapes_scale_metrics():
+    row = _row(_fake_doc(), "Em3d", 64, "torus", "rdma", cached=False)
+    assert row["n_procs"] == 64
+    assert row["scale"] is True
+    assert row["topology"] == "torus"
+    assert row["preset"] == "rdma"
+    assert row["events_per_second"] == pytest.approx(250.0)
+    assert row["peak_rss_kb"] == 4096
+    assert row["coherence_state_bytes"] == 6400
+    assert row["coherence_state_bytes_per_node"] == 100
+    assert abs(sum(row["fractions"].values()) - 1.0) < 1e-9
+    assert row["fractions"]["busy"] == pytest.approx(0.75)
+
+
+def test_row_key_extends_only_for_non_defaults():
+    base = {"app": "Em3d", "protocol": "TM/I+P+D", "n_procs": 4,
+            "quick": True}
+    assert row_key(base) == "Em3d/TM/I+P+D/4p/quick"
+    # Scale rows on the default mesh/paper1996 keep the historical key
+    # shape -- pre-scale archives stay comparable.
+    assert row_key(dict(base, scale=True, topology="mesh",
+                        preset="paper1996", n_procs=64)) == \
+        "Em3d/TM/I+P+D/64p/quick"
+    assert row_key(dict(base, topology="torus")) == \
+        "Em3d/TM/I+P+D/4p/quick/torus"
+    assert row_key(dict(base, preset="rdma")) == \
+        "Em3d/TM/I+P+D/4p/quick/rdma"
+    assert row_key(dict(base, topology="dragonfly", preset="pio")) == \
+        "Em3d/TM/I+P+D/4p/quick/dragonfly/pio"
