@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: the ``repro serve`` async job API.
+
+The serving layer the ROADMAP asked for: an asyncio HTTP front end
+(:mod:`repro.serve.http`) over the PR-3 content-addressed result store,
+deduplicating run/sweep submissions against the disk store, in-flight
+jobs, and sweep members (:mod:`repro.serve.jobs`), with per-tenant
+token-bucket quotas and queue-depth backpressure
+(:mod:`repro.serve.admission`) in front of a bounded process pool.
+:mod:`repro.serve.client` is the stdlib HTTP client behind
+``repro submit/status/watch-job``.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    QuotaConfig,
+    TokenBucket,
+)
+from repro.serve.client import DEFAULT_URL, ServeClient, ServeError
+from repro.serve.http import ReproServer, ServeConfig, run_server
+from repro.serve.jobs import (
+    SERVE_SCHEMA,
+    Job,
+    JobManager,
+    SpecError,
+    request_from_spec,
+)
+
+__all__ = [
+    "AdmissionController",
+    "QuotaConfig",
+    "TokenBucket",
+    "ServeClient",
+    "ServeError",
+    "DEFAULT_URL",
+    "ReproServer",
+    "ServeConfig",
+    "run_server",
+    "SERVE_SCHEMA",
+    "Job",
+    "JobManager",
+    "SpecError",
+    "request_from_spec",
+]

@@ -1,0 +1,157 @@
+"""Admission control for the serve layer: quotas and backpressure.
+
+Two protections, applied before any job is created:
+
+* **Per-tenant token buckets** -- each tenant (the ``X-Repro-Tenant``
+  request header) owns a bucket refilled at ``rate`` tokens/second up
+  to ``burst``.  A submission costs one token per run (a sweep costs
+  one per member).  An empty bucket is a quota breach: HTTP 429 with a
+  ``Retry-After`` telling the client exactly when the next token lands.
+* **Global queue-depth bound** -- when the scheduler's backlog (jobs
+  admitted but not yet running) reaches ``max_queue_depth``, further
+  submissions are refused with HTTP 503 carrying the current depth,
+  the inference-stack convention for "shed load now, retry with
+  backoff".
+
+Both verdicts are cheap dict/arithmetic operations on the event loop;
+nothing here blocks.  Per-tenant counters (admitted / rejected by
+reason) feed the server's metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "QuotaConfig", "TokenBucket", "AdmissionController", "Verdict",
+]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Token-bucket parameters for one tenant (or the default)."""
+
+    rate: float = 20.0     # tokens refilled per second
+    burst: float = 40.0    # bucket capacity
+
+    @staticmethod
+    def parse(spec: str) -> "QuotaConfig":
+        """``"RATE:BURST"`` -> config (CLI ``--tenant-quota`` format)."""
+        rate_s, _, burst_s = spec.partition(":")
+        rate = float(rate_s)
+        burst = float(burst_s) if burst_s else max(1.0, rate)
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"quota must be positive: {spec!r}")
+        return QuotaConfig(rate=rate, burst=burst)
+
+
+class TokenBucket:
+    """Classic token bucket over a monotonic clock."""
+
+    def __init__(self, quota: QuotaConfig,
+                 now: Optional[float] = None):
+        self.quota = quota
+        self.tokens = quota.burst
+        self._stamp = time.monotonic() if now is None else now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self.tokens = min(self.quota.burst,
+                          self.tokens + elapsed * self.quota.rate)
+
+    def try_take(self, cost: float = 1.0,
+                 now: Optional[float] = None) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds until
+        the bucket could satisfy the request (the ``Retry-After``)."""
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        needed = min(cost, self.quota.burst) - self.tokens
+        if needed <= 0.0:
+            # The cost exceeds burst but the bucket is as full as it
+            # gets: admit and drain it, rather than making an
+            # oversized sweep wait forever for capacity that can
+            # never exist.
+            self.tokens = 0.0
+            return 0.0
+        return needed / self.quota.rate
+
+
+@dataclass
+class Verdict:
+    """One admission decision."""
+
+    admitted: bool
+    reason: Optional[str] = None       # "quota" | "saturated"
+    retry_after: float = 0.0           # seconds (429/503 hint)
+    queue_depth: int = 0
+
+
+@dataclass
+class TenantStats:
+    admitted: int = 0
+    rejected_quota: int = 0
+    rejected_saturated: int = 0
+
+    def to_json(self) -> dict:
+        return {"admitted": self.admitted,
+                "rejected_quota": self.rejected_quota,
+                "rejected_saturated": self.rejected_saturated}
+
+
+@dataclass
+class AdmissionController:
+    """Per-tenant token buckets plus a global queue-depth bound."""
+
+    default_quota: QuotaConfig = field(default_factory=QuotaConfig)
+    tenant_quotas: Dict[str, QuotaConfig] = field(default_factory=dict)
+    max_queue_depth: int = 256
+
+    def __post_init__(self):
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.stats: Dict[str, TenantStats] = {}
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self.tenant_quotas.get(tenant, self.default_quota)
+            bucket = self._buckets[tenant] = TokenBucket(quota)
+        return bucket
+
+    def _stats(self, tenant: str) -> TenantStats:
+        stats = self.stats.get(tenant)
+        if stats is None:
+            stats = self.stats[tenant] = TenantStats()
+        return stats
+
+    def admit(self, tenant: str, cost: float = 1.0,
+              queue_depth: int = 0,
+              now: Optional[float] = None) -> Verdict:
+        """Decide one submission of ``cost`` runs for ``tenant``.
+
+        Saturation is checked first: a full queue rejects even a tenant
+        with tokens to spend (admitting would only deepen the backlog),
+        and crucially does *not* charge the bucket -- a shed request
+        must not also burn quota.
+        """
+        stats = self._stats(tenant)
+        if queue_depth >= self.max_queue_depth:
+            stats.rejected_saturated += 1
+            return Verdict(admitted=False, reason="saturated",
+                           retry_after=1.0, queue_depth=queue_depth)
+        retry = self._bucket(tenant).try_take(cost, now=now)
+        if retry > 0.0:
+            stats.rejected_quota += 1
+            return Verdict(admitted=False, reason="quota",
+                           retry_after=retry, queue_depth=queue_depth)
+        stats.admitted += 1
+        return Verdict(admitted=True, queue_depth=queue_depth)
+
+    def stats_json(self) -> Dict[str, dict]:
+        return {tenant: stats.to_json()
+                for tenant, stats in sorted(self.stats.items())}

@@ -1,0 +1,412 @@
+"""Minimal asyncio HTTP/1.1 front end for ``repro serve``.
+
+Deliberately stdlib-only: an ``asyncio.start_server`` stream handler
+with just enough HTTP to serve a JSON job API and long-lived event
+streams.  One connection, one request (``Connection: close``), which
+keeps parsing trivial and is plenty for a sweep-traffic control plane.
+
+Routes::
+
+    POST   /v1/runs              submit one run spec
+    POST   /v1/sweeps            submit {"runs": [spec, ...]}
+    GET    /v1/jobs/{id}         repro-serve/1 job document
+    GET    /v1/jobs/{id}/events  NDJSON event stream (history replay +
+                                 live TelemetryBus bridge; SSE with
+                                 Accept: text/event-stream)
+    DELETE /v1/jobs/{id}         cancel a queued job
+    GET    /v1/metrics           server metrics registry + admission
+    GET    /healthz              liveness probe
+
+Tenancy is the ``X-Repro-Tenant`` header (default ``anon``).  Admission
+control runs before any job is created: quota breaches get 429 with
+``Retry-After``, a saturated queue gets 503 with the current depth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.harness import telemetry
+from repro.harness.parallel import EvictionPolicy, ResultCache
+from repro.serve.admission import AdmissionController, QuotaConfig
+from repro.serve.jobs import JobManager, SpecError
+
+__all__ = ["ServeConfig", "ReproServer", "run_server"]
+
+_MAX_BODY = 4 << 20          # 4 MiB of JSON specs is plenty
+_MAX_HEADER_LINES = 100
+_STREAM_IDLE_HEARTBEAT = 15.0
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            408: "Request Timeout", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` can tune, in one place."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral
+    workers: int = 2
+    job_timeout: Optional[float] = None
+    cache_dir: Optional[str] = None     # None = default resolution
+    no_cache: bool = False
+    quota: QuotaConfig = field(default_factory=QuotaConfig)
+    tenant_quotas: Dict[str, QuotaConfig] = field(default_factory=dict)
+    max_queue_depth: int = 256
+    eviction: Optional[EvictionPolicy] = None
+    evict_every: int = 32
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 extra: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        self.extra = extra or {}
+
+
+class ReproServer:
+    """The serve front end: sockets, routing, and streaming."""
+
+    def __init__(self, config: ServeConfig,
+                 bus: Optional[telemetry.TelemetryBus] = None):
+        self.config = config
+        self.bus = bus if bus is not None else telemetry.bus()
+        cache = None if config.no_cache \
+            else ResultCache(config.cache_dir)
+        self.jobs = JobManager(
+            workers=config.workers, cache=cache,
+            job_timeout=config.job_timeout,
+            eviction=config.eviction, evict_every=config.evict_every,
+            bus=self.bus)
+        self.admission = AdmissionController(
+            default_quota=config.quota,
+            tenant_quotas=dict(config.tenant_quotas),
+            max_queue_depth=config.max_queue_depth)
+        self.registry = self.jobs.registry
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._bridge: Optional[telemetry.AsyncBridge] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        self.jobs.start()
+        self._bridge = telemetry.AsyncBridge(
+            asyncio.get_running_loop(), bus=self.bus)
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.bus.publish("serve_started", host=host, port=port,
+                         workers=self.jobs.workers)
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._bridge is not None:
+            self._bridge.close()
+            self._bridge = None
+        await self.jobs.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = \
+                    await self._read_request(reader)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+                return
+            self.registry.inc("serve_requests", method=method)
+            try:
+                await self._route(method, path, headers, body, writer)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except Exception as exc:   # a handler bug must not kill
+                self.registry.inc("serve_errors")  # the accept loop
+                await self._send_error(writer, _HttpError(
+                    500, f"{type(exc).__name__}: {exc}"))
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await asyncio.wait_for(reader.readline(),
+                                                  30.0)
+        except asyncio.TimeoutError:
+            raise _HttpError(408, "timed out reading request line")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        body = b""
+        length_s = headers.get("content-length", "0")
+        try:
+            length = int(length_s)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {length_s!r}")
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body over {_MAX_BODY} bytes")
+        if length:
+            body = await reader.readexactly(length)
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "empty body; JSON object expected")
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(doc, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return doc
+
+    async def _send_json(self, writer: asyncio.StreamWriter,
+                         status: int, doc: dict,
+                         headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode()
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode()
+                     + payload)
+        await writer.drain()
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          exc: _HttpError) -> None:
+        doc = {"error": exc.message, "status": exc.status}
+        doc.update(exc.extra)
+        try:
+            await self._send_json(writer, exc.status, doc,
+                                  headers=exc.headers)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        tenant = headers.get("x-repro-tenant", "anon") or "anon"
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {"ok": True})
+            return
+        if path == "/v1/metrics" and method == "GET":
+            doc = {"metrics": self.jobs.metrics_json(),
+                   "admission": self.admission.stats_json(),
+                   "queue_depth": self.jobs.queue_depth}
+            await self._send_json(writer, 200, doc)
+            return
+        if path == "/v1/runs" and method == "POST":
+            spec = self._json_body(body)
+            self._admit(tenant, cost=1.0)
+            job = await self._submit_run(spec, tenant)
+            await self._send_json(
+                writer, 200 if job.terminal else 202, job.to_json())
+            return
+        if path == "/v1/sweeps" and method == "POST":
+            doc = self._json_body(body)
+            runs = doc.get("runs")
+            if not isinstance(runs, list) or not runs:
+                raise _HttpError(400,
+                                 "sweep needs a non-empty 'runs' list")
+            self._admit(tenant, cost=float(len(runs)))
+            try:
+                sweep = await self.jobs.submit_sweep(runs, tenant)
+            except SpecError as exc:
+                raise _HttpError(400, str(exc))
+            await self._send_json(
+                writer, 200 if sweep.terminal else 202,
+                sweep.to_json())
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                job_id = rest[:-len("/events")].rstrip("/")
+                if method != "GET":
+                    raise _HttpError(405, "events is GET-only")
+                await self._stream_events(job_id, headers, writer)
+                return
+            job = self.jobs.get(rest)
+            if job is None:
+                raise _HttpError(404, f"unknown job {rest!r}")
+            if method == "GET":
+                await self._send_json(writer, 200, job.to_json())
+                return
+            if method == "DELETE":
+                job = self.jobs.cancel(rest)
+                await self._send_json(writer, 200, job.to_json())
+                return
+            raise _HttpError(405, f"{method} not allowed on jobs")
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _admit(self, tenant: str, cost: float) -> None:
+        verdict = self.admission.admit(
+            tenant, cost=cost, queue_depth=self.jobs.queue_depth)
+        if verdict.admitted:
+            self.registry.inc("serve_admitted", tenant=tenant)
+            return
+        self.registry.inc("serve_rejected", tenant=tenant,
+                          reason=verdict.reason)
+        retry = max(1, int(verdict.retry_after + 0.999))
+        if verdict.reason == "quota":
+            raise _HttpError(
+                429, f"tenant {tenant!r} is over quota",
+                headers={"Retry-After": str(retry)},
+                extra={"retry_after": verdict.retry_after,
+                       "reason": "quota"})
+        raise _HttpError(
+            503, "job queue is saturated",
+            headers={"Retry-After": str(retry)},
+            extra={"queue_depth": verdict.queue_depth,
+                   "reason": "saturated"})
+
+    async def _submit_run(self, spec: dict, tenant: str):
+        try:
+            return await self.jobs.submit_run(spec, tenant)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc))
+
+    # -- event streaming ---------------------------------------------------
+
+    async def _stream_events(self, job_id: str,
+                             headers: Dict[str, str],
+                             writer: asyncio.StreamWriter) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        sse = "text/event-stream" in headers.get("accept", "")
+        content_type = ("text/event-stream" if sse
+                        else "application/x-ndjson")
+        head = ["HTTP/1.1 200 OK",
+                f"Content-Type: {content_type}",
+                "Cache-Control: no-store",
+                "Connection: close"]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+
+        def encode(event: dict) -> bytes:
+            line = json.dumps(event, default=repr, sort_keys=True)
+            if sse:
+                return f"data: {line}\n\n".encode()
+            return (line + "\n").encode()
+
+        # Attach the live bus bridge *before* replaying history, so an
+        # edge landing between replay and attach cannot be lost; the
+        # job-id filter drops other jobs' traffic.
+        assert self._bridge is not None
+        watched = {job_id}
+        if job.members:
+            watched.update(job.members)
+        queue = self._bridge.stream()
+        try:
+            # (kind, ts) identifies an edge: an event published just
+            # before attach can still be dispatched to our queue just
+            # after it (the bus->loop hop), and would otherwise appear
+            # twice -- once from the replay, once live.
+            replayed = set()
+            for event in list(job.history):
+                writer.write(encode(event))
+                replayed.add((event.get("kind"), event.get("ts")))
+            await writer.drain()
+            if job.terminal:
+                writer.write(encode({"kind": "_end", "job": job.id,
+                                     "state": job.state}))
+                await writer.drain()
+                return
+            while True:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), _STREAM_IDLE_HEARTBEAT)
+                except asyncio.TimeoutError:
+                    # Heartbeat keeps proxies from reaping the idle
+                    # stream and lets a dead client surface as a
+                    # write error instead of a leaked task.
+                    writer.write(b":\n\n" if sse else b"\n")
+                    await writer.drain()
+                    continue
+                if event.get("job") not in watched:
+                    continue
+                if (event.get("kind"), event.get("ts")) in replayed:
+                    continue
+                writer.write(encode(event))
+                await writer.drain()
+                job = self.jobs.get(job_id) or job
+                if job.terminal:
+                    writer.write(encode({"kind": "_end",
+                                         "job": job.id,
+                                         "state": job.state}))
+                    await writer.drain()
+                    return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._bridge.unstream(queue)
+
+
+async def _run_and_block(config: ServeConfig,
+                         ready=None, port_file: Optional[str] = None
+                         ) -> None:
+    server = ReproServer(config)
+    host, port = await server.start()
+    if port_file:
+        with open(port_file, "w") as fh:
+            fh.write(f"{host} {port}\n")
+    if ready is not None:
+        ready(host, port)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def run_server(config: ServeConfig, ready=None,
+               port_file: Optional[str] = None) -> None:
+    """Blocking entry point for the ``repro serve`` CLI."""
+    try:
+        asyncio.run(_run_and_block(config, ready=ready,
+                                   port_file=port_file))
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,92 @@
+"""Token buckets and the admission controller, on a fake clock."""
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    QuotaConfig,
+    TokenBucket,
+)
+
+
+def test_quota_parse_forms():
+    assert QuotaConfig.parse("5:10") == QuotaConfig(rate=5.0, burst=10.0)
+    # Burst defaults to max(1, rate).
+    assert QuotaConfig.parse("5") == QuotaConfig(rate=5.0, burst=5.0)
+    assert QuotaConfig.parse("0.5") == QuotaConfig(rate=0.5, burst=1.0)
+    with pytest.raises(ValueError):
+        QuotaConfig.parse("0:10")
+    with pytest.raises(ValueError):
+        QuotaConfig.parse("-1")
+    with pytest.raises(ValueError):
+        QuotaConfig.parse("not-a-rate")
+
+
+def test_bucket_burst_then_refill():
+    bucket = TokenBucket(QuotaConfig(rate=2.0, burst=4.0), now=0.0)
+    for _ in range(4):
+        assert bucket.try_take(1.0, now=0.0) == 0.0
+    # Empty: the retry hint is exactly one token away at 2/s.
+    assert bucket.try_take(1.0, now=0.0) == pytest.approx(0.5)
+    # Half a second later the token landed.
+    assert bucket.try_take(1.0, now=0.5) == 0.0
+    # Refill never exceeds burst.
+    assert bucket.try_take(4.0, now=100.0) == 0.0
+    assert bucket.try_take(1.0, now=100.0) == pytest.approx(0.5)
+
+
+def test_bucket_cost_above_burst_drains_and_admits():
+    bucket = TokenBucket(QuotaConfig(rate=1.0, burst=2.0), now=0.0)
+    # A 5-token ask can never fully fit.  A full bucket admits it and
+    # drains (waiting forever would deadlock oversized sweeps)...
+    assert bucket.try_take(5.0, now=0.0) == pytest.approx(0.0)
+    assert bucket.tokens == 0.0
+    # ...but a drained bucket makes it wait for a full refill.
+    retry = bucket.try_take(5.0, now=0.0)
+    assert retry == pytest.approx(2.0)
+    assert bucket.try_take(5.0, now=2.0) == pytest.approx(0.0)
+
+
+def test_admit_charges_quota_per_run():
+    controller = AdmissionController(
+        default_quota=QuotaConfig(rate=1.0, burst=3.0))
+    verdict = controller.admit("alice", cost=3.0, now=0.0)
+    assert verdict.admitted
+    verdict = controller.admit("alice", cost=1.0, now=0.0)
+    assert not verdict.admitted and verdict.reason == "quota"
+    assert verdict.retry_after == pytest.approx(1.0)
+    # Tenants are isolated: bob's bucket is untouched.
+    assert controller.admit("bob", cost=1.0, now=0.0).admitted
+
+
+def test_tenant_quota_overrides_default():
+    controller = AdmissionController(
+        default_quota=QuotaConfig(rate=100.0, burst=100.0),
+        tenant_quotas={"small": QuotaConfig(rate=1.0, burst=1.0)})
+    assert controller.admit("small", now=0.0).admitted
+    assert not controller.admit("small", now=0.0).admitted
+    assert controller.admit("anyone-else", now=0.0).admitted
+
+
+def test_saturation_rejects_without_charging_quota():
+    controller = AdmissionController(
+        default_quota=QuotaConfig(rate=1.0, burst=1.0),
+        max_queue_depth=4)
+    verdict = controller.admit("alice", queue_depth=4, now=0.0)
+    assert not verdict.admitted
+    assert verdict.reason == "saturated"
+    assert verdict.queue_depth == 4
+    # The shed request burned no tokens: the next one is admitted.
+    assert controller.admit("alice", queue_depth=0, now=0.0).admitted
+
+
+def test_stats_track_decisions_per_tenant():
+    controller = AdmissionController(
+        default_quota=QuotaConfig(rate=1.0, burst=1.0),
+        max_queue_depth=2)
+    controller.admit("alice", now=0.0)
+    controller.admit("alice", now=0.0)             # quota reject
+    controller.admit("alice", queue_depth=2, now=0.0)   # saturated
+    stats = controller.stats_json()
+    assert stats["alice"] == {"admitted": 1, "rejected_quota": 1,
+                              "rejected_saturated": 1}

@@ -1,0 +1,271 @@
+"""JobManager scheduling: dedupe, sweeps, timeouts, fairness.
+
+These tests swap the process pool for a thread pool and stub the
+worker function, so scheduling semantics are exercised without
+spawning simulator processes; the full stack (real pool, real runs)
+is covered by test_serve_api.py.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness.parallel import ResultCache
+from repro.harness.telemetry import TelemetryBus
+from repro.serve import jobs as jobs_module
+from repro.serve.jobs import JobManager, SpecError, request_from_spec
+
+
+def _spec(protocol="Base", procs=2):
+    return {"app": "Em3d", "protocol": protocol, "procs": procs,
+            "quick": True}
+
+
+def _result(i=0):
+    return {"execution_cycles": 1000 + i, "wall_seconds": 0.01,
+            "events_processed": 10}
+
+
+def _manager(monkeypatch, worker=None, workers=2, **kwargs):
+    """A JobManager on a thread pool with a stubbed worker function."""
+    manager = JobManager(workers=workers, bus=TelemetryBus(),
+                         **kwargs)
+    manager._pool = ThreadPoolExecutor(max_workers=workers)
+    monkeypatch.setattr(jobs_module, "execute_request",
+                        worker or (lambda request: _result()))
+    return manager
+
+
+async def _wait_terminal(job, timeout=5.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not job.terminal:
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(
+                f"job {job.id[:12]} stuck in {job.state}")
+        await asyncio.sleep(0.01)
+    return job
+
+
+# -- spec validation -------------------------------------------------------
+
+def test_request_from_spec_defaults_and_rejections():
+    request = request_from_spec({"app": "Em3d"})
+    assert request.nprocs == 4
+    assert request.size_kwargs            # quick defaults on
+    with pytest.raises(SpecError):
+        request_from_spec({"app": "NoSuchApp"})
+    with pytest.raises(SpecError):
+        request_from_spec({"app": "Em3d", "procs": 0})
+    with pytest.raises(SpecError):
+        request_from_spec({"app": "Em3d", "protocol": "bogus"})
+    with pytest.raises(SpecError):
+        request_from_spec({"app": "Em3d", "typo_key": 1})
+    with pytest.raises(SpecError):
+        request_from_spec(["not", "an", "object"])
+
+
+def test_spec_fingerprint_is_job_identity():
+    a = request_from_spec(_spec()).fingerprint()
+    b = request_from_spec(_spec()).fingerprint()
+    c = request_from_spec(_spec(protocol="I+D")).fingerprint()
+    assert a == b != c
+
+
+# -- dedupe ----------------------------------------------------------------
+
+def test_store_hit_resolves_without_pool(tmp_path, monkeypatch):
+    async def scenario():
+        cache = ResultCache(str(tmp_path))
+        key = request_from_spec(_spec()).fingerprint()
+        cache.put(key, _result(7))
+        def boom(request):
+            raise AssertionError("pool must not run")
+
+        manager = _manager(monkeypatch, worker=boom, cache=cache)
+        job = await manager.submit_run(_spec(), "alice")
+        assert job.id == key
+        assert job.state == "done" and job.dedupe == "cached"
+        assert job.result["execution_cycles"] == 1007
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_inflight_duplicates_coalesce_onto_one_future(monkeypatch):
+    release = threading.Event()
+    calls = []
+
+    def slow_worker(request):
+        calls.append(request.fingerprint())
+        release.wait(5.0)
+        return _result()
+
+    async def scenario():
+        manager = _manager(monkeypatch, worker=slow_worker)
+        first = await manager.submit_run(_spec(), "alice")
+        # Give the worker thread time to pick the job up.
+        await asyncio.sleep(0.05)
+        second = await manager.submit_run(_spec(), "bob")
+        assert second is first               # shared job object
+        assert second.dedupe == "coalesced"
+        release.set()
+        await _wait_terminal(first)
+        assert first.state == "done"
+        assert len(calls) == 1               # one worker execution
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_sweep_members_dedupe_by_fingerprint(monkeypatch):
+    async def scenario():
+        manager = _manager(monkeypatch)
+        sweep = await manager.submit_sweep(
+            [_spec(), _spec(), _spec(protocol="I+D")], "alice")
+        assert sweep.kind == "sweep"
+        assert len(sweep.members) == 2       # duplicate collapsed
+        for member_id in sweep.members:
+            await _wait_terminal(manager.get(member_id))
+        await _wait_terminal(sweep)
+        assert sweep.state == "done"
+        assert set(sweep.result["members"].values()) == {"done"}
+        # Resubmitting the same member set returns the same sweep id.
+        again = await manager.submit_sweep([_spec(protocol="I+D"),
+                                            _spec()], "bob")
+        assert again.id == sweep.id
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+# -- lifecycle -------------------------------------------------------------
+
+def test_job_timeout_marks_timeout_and_frees_slot(monkeypatch):
+    release = threading.Event()
+
+    def stuck_worker(request):
+        release.wait(5.0)
+        return _result()
+
+    async def scenario():
+        manager = _manager(monkeypatch, worker=stuck_worker,
+                           workers=1, job_timeout=0.1)
+        job = await manager.submit_run(_spec(), "alice")
+        await _wait_terminal(job)
+        assert job.state == "timeout"
+        assert "0.1" in job.error
+        # The slot is released once the worker actually returns, so a
+        # fresh fast job still runs afterwards.
+        release.set()
+        monkeypatch.setattr(jobs_module, "execute_request",
+                            lambda request: _result())
+        job2 = await manager.submit_run(_spec(procs=3), "alice")
+        await _wait_terminal(job2)
+        assert job2.state == "done"
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_worker_exception_fails_job(monkeypatch):
+    def broken_worker(request):
+        raise RuntimeError("simulator exploded")
+
+    async def scenario():
+        manager = _manager(monkeypatch, worker=broken_worker)
+        job = await manager.submit_run(_spec(), "alice")
+        await _wait_terminal(job)
+        assert job.state == "failed"
+        assert "simulator exploded" in job.error
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_cancel_queued_job_only(monkeypatch):
+    release = threading.Event()
+
+    def slow_worker(request):
+        release.wait(5.0)
+        return _result()
+
+    async def scenario():
+        manager = _manager(monkeypatch, worker=slow_worker, workers=1)
+        running = await manager.submit_run(_spec(), "alice")
+        await asyncio.sleep(0.05)
+        queued = await manager.submit_run(_spec(procs=3), "alice")
+        assert queued.state == "queued"
+
+        cancelled = manager.cancel(queued.id)
+        assert cancelled.state == "cancelled"
+        # Cancelling the running job is a no-op.
+        assert manager.cancel(running.id).state == "running"
+        assert manager.cancel("no-such-job") is None
+        release.set()
+        await _wait_terminal(running)
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_round_robin_interleaves_tenants(monkeypatch):
+    order = []
+    lock = threading.Lock()
+
+    def recording_worker(request):
+        with lock:
+            order.append(request.nprocs)
+        return _result()
+
+    async def scenario():
+        manager = _manager(monkeypatch, worker=recording_worker,
+                           workers=1)
+        # Block the single slot so queues build up behind it.
+        gate = threading.Event()
+        monkeypatch.setattr(jobs_module, "execute_request",
+                            lambda request: (gate.wait(5.0),
+                                             _result())[1])
+        blocker = await manager.submit_run(_spec(procs=9), "alice")
+        await asyncio.sleep(0.05)
+        monkeypatch.setattr(jobs_module, "execute_request",
+                            recording_worker)
+        # alice queues three jobs, then bob queues three.
+        jobs = []
+        for procs in (2, 3, 4):
+            jobs.append(await manager.submit_run(_spec(procs=procs),
+                                                 "alice"))
+        for procs in (6, 8, 12):
+            jobs.append(await manager.submit_run(_spec(procs=procs),
+                                                 "bob"))
+        gate.set()
+        for job in jobs:
+            await _wait_terminal(job)
+        # FIFO within a tenant; interleaved across tenants -- bob's
+        # first job must not wait behind all of alice's.
+        assert order.index(6) < order.index(4)
+        assert [p for p in order if p in (2, 3, 4)] == [2, 3, 4]
+        assert [p for p in order if p in (6, 8, 12)] == [6, 8, 12]
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_close_cancels_queued_jobs(monkeypatch):
+    release = threading.Event()
+
+    async def scenario():
+        manager = _manager(
+            monkeypatch, workers=1,
+            worker=lambda request: (release.wait(5.0), _result())[1])
+        running = await manager.submit_run(_spec(), "alice")
+        await asyncio.sleep(0.05)
+        queued = await manager.submit_run(_spec(procs=3), "alice")
+        release.set()
+        await manager.close()
+        assert queued.state == "cancelled"
+        assert "shutdown" in queued.error
+        assert running.terminal
+
+    asyncio.run(scenario())

@@ -1,0 +1,88 @@
+"""The ``repro submit/status/watch-job`` CLI against a live server."""
+
+import json
+
+from repro.__main__ import main
+from repro.serve import QuotaConfig, ServeConfig
+
+from tests.serve.test_serve_api import _Server
+
+
+def _url(server):
+    host, port = server.addr
+    return f"http://{host}:{port}"
+
+
+def _config(tmp_path):
+    return ServeConfig(port=0, workers=2,
+                       cache_dir=str(tmp_path / "store"),
+                       quota=QuotaConfig(rate=1000.0, burst=1000.0))
+
+
+def test_submit_wait_status_watch_round_trip(tmp_path, capsys):
+    with _Server(_config(tmp_path)) as server:
+        url = _url(server)
+        out_path = tmp_path / "job.json"
+        rc = main(["submit", "Em3d", "--protocol", "Base",
+                   "--procs", "2", "--quick", "--server", url,
+                   "--wait", "--json", str(out_path)])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        job_id = lines[0].split()[0]
+        assert len(job_id) == 64
+        assert "state=done" in lines[1]
+
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == "repro-serve/1"
+        assert doc["job"]["id"] == job_id
+        assert doc["result"]["execution_cycles"] > 0
+
+        # The duplicate is visibly a dedupe hit.
+        rc = main(["submit", "Em3d", "--protocol", "Base",
+                   "--procs", "2", "--quick", "--server", url])
+        assert rc == 0
+        assert "dedupe=cached" in capsys.readouterr().out
+
+        rc = main(["status", job_id, "--server", url])
+        assert rc == 0
+        assert "state=done" in capsys.readouterr().out
+
+        rc = main(["watch-job", job_id, "--server", url])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"{job_id} finished: done" in out
+
+
+def test_submit_protocols_sweep_and_validate(tmp_path, capsys):
+    with _Server(_config(tmp_path)) as server:
+        url = _url(server)
+        out_path = tmp_path / "sweep.json"
+        rc = main(["submit", "Em3d", "--protocols", "Base", "I+D",
+                   "--procs", "2", "--quick", "--server", url,
+                   "--wait", "--json", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "members=2" in out
+        assert "state=done" in out
+
+        # The written document passes `repro validate`.
+        rc = main(["validate", str(out_path)])
+        assert rc == 0
+        assert "repro-serve/1" in capsys.readouterr().out
+
+
+def test_submit_errors_are_clean_exits(tmp_path, capsys):
+    with _Server(_config(tmp_path)) as server:
+        url = _url(server)
+        # No app and no sweep file.
+        assert main(["submit", "--server", url]) == 2
+        assert "error" in capsys.readouterr().err
+        # Server-side rejection surfaces status, not a traceback.
+        rc = main(["submit", "Em3d", "--protocol", "bogus",
+                   "--server", url])
+        assert rc == 2
+        assert "rejected (400)" in capsys.readouterr().err
+        # Unknown job id on status.
+        assert main(["status", "not-a-job", "--server", url]) == 2
+        assert "404" in capsys.readouterr().err
